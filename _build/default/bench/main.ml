@@ -1,0 +1,152 @@
+(* Benchmark harness.
+
+   Part 1 — experiment regeneration: prints the table for every reproduced
+   paper claim (E1-E12, see EXPERIMENTS.md). Pass "full" for the full
+   trial counts used in EXPERIMENTS.md; the default "quick" profile keeps
+   the whole run under a minute.
+
+   Part 2 — bechamel microbenchmarks: one Test.make per experiment table
+   (timing its regeneration at the quick profile) plus the simulator's hot
+   paths, reported as ns/run with the OLS r^2. *)
+
+open Bechamel
+open Toolkit
+
+let seed = 42
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_tables profile =
+  let label =
+    match profile with Core.Experiments.Quick -> "quick" | Core.Experiments.Full -> "full"
+  in
+  Printf.printf
+    "Reproduction tables (profile: %s, seed: %d) -- paper claims E1..E12\n\n"
+    label seed;
+  List.iter
+    (fun tbl ->
+      print_endline (Stats.Table.render tbl);
+      print_newline ())
+    (Core.Experiments.all profile ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_tests =
+  (* One Test.make per table: times the quick regeneration of each claim. *)
+  let make id =
+    Test.make ~name:("table:" ^ id)
+      (Staged.stage (fun () ->
+           match Core.Experiments.by_id id with
+           | Some f -> ignore (f Core.Experiments.Quick ~seed)
+           | None -> assert false))
+  in
+  List.map make Core.Experiments.ids
+
+let micro_tests =
+  let rng = Prng.Rng.create 7 in
+  let synran64 = Core.Synran.protocol 64 in
+  let band =
+    Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+      ~bit_of_msg:Core.Synran.bit_of_msg ()
+  in
+  let inputs64 = Prng.Sample.random_bits (Prng.Rng.create 3) 64 in
+  let floodset = Baselines.Floodset.protocol ~rounds:17 () in
+  let majority0 = Coinflip.Games.majority_default_zero 256 in
+  [
+    Test.make ~name:"rng:bits64" (Staged.stage (fun () -> Prng.Rng.bits64 rng));
+    Test.make ~name:"rng:int-1000" (Staged.stage (fun () -> Prng.Rng.int rng 1000));
+    Test.make ~name:"binomial:sf-n1024"
+      (Staged.stage (fun () -> Stats.Binomial.sf ~n:1024 ~k:560 ~p:0.5));
+    Test.make ~name:"explorer:expected-rounds-n256"
+      (Staged.stage (fun () -> Core.Explorer.expected_rounds ~ones:128 256));
+    Test.make ~name:"synran:run-n64-null"
+      (Staged.stage (fun () ->
+           Sim.Engine.run synran64 Sim.Adversary.null ~inputs:inputs64 ~t:0
+             ~rng:(Prng.Rng.create 11)));
+    Test.make ~name:"synran:run-n64-band"
+      (Staged.stage (fun () ->
+           Sim.Engine.run ~max_rounds:500 synran64 band ~inputs:inputs64 ~t:63
+             ~rng:(Prng.Rng.create 13)));
+    Test.make ~name:"floodset:run-n64-t16"
+      (Staged.stage (fun () ->
+           Sim.Engine.run floodset
+             (Baselines.Adversaries.drip ~per_round:1)
+             ~inputs:inputs64 ~t:16
+             ~rng:(Prng.Rng.create 17)));
+    Test.make ~name:"coinflip:majority0-trial"
+      (Staged.stage (fun () ->
+           let values = majority0.Coinflip.Game.sample rng in
+           Coinflip.Strategy.forced_outcome majority0 values
+             ~strategy:Coinflip.Strategy.best_available ~budget:64 ~target:0));
+    Test.make ~name:"async:benor-n8-fair"
+      (Staged.stage (fun () ->
+           Async.Engine.run ~max_steps:50_000 (Async.Benor.protocol ~t:3)
+             Async.Scheduler.fair
+             ~inputs:[| 0; 1; 0; 1; 0; 1; 0; 1 |]
+             ~t:0
+             ~rng:(Prng.Rng.create 23)));
+    Test.make ~name:"byz:phase-king-n13-spoofed"
+      (Staged.stage (fun () ->
+           Byz.Engine.run
+             (Byz.Phase_king.protocol ~t:3)
+             (Byz.Phase_king.king_spoofer ())
+             ~inputs:[| 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1 |]
+             ~t:3
+             ~rng:(Prng.Rng.create 29)));
+    Test.make ~name:"byz:eig-n7-liar"
+      (Staged.stage (fun () ->
+           Byz.Engine.run (Byz.Eig.protocol ~t:2) (Byz.Eig.liar ())
+             ~inputs:[| 1; 0; 1; 0; 1; 0; 1 |]
+             ~t:2
+             ~rng:(Prng.Rng.create 31)));
+  ]
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"bench" (experiment_tests @ micro_tests)
+  in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let table =
+    Stats.Table.create ~title:"Bechamel microbenchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run"; "r^2" ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Stats.Table.Float e
+        | Some [] | None -> Stats.Table.Str "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Stats.Table.Float r
+        | None -> Stats.Table.Str "-"
+      in
+      Stats.Table.add_row table [ Stats.Table.Str name; estimate; r2 ])
+    rows;
+  print_endline (Stats.Table.render table)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let profile =
+    if List.mem "full" args then Core.Experiments.Full else Core.Experiments.Quick
+  in
+  let tables_only = List.mem "--tables-only" args in
+  let micro_only = List.mem "--micro-only" args in
+  if not micro_only then print_tables profile;
+  if not tables_only then run_bechamel ()

@@ -1,0 +1,472 @@
+(* Command-line driver for the Bar-Joseph & Ben-Or reproduction.
+
+   Subcommands:
+     run          one protocol x adversary configuration, many trials
+     trace        one execution with a per-round trace dump
+     coinflip     one-round coin-flipping control measurement (Section 2)
+     experiments  regenerate the EXPERIMENTS.md tables (E1-E8)
+     bounds       print the paper's closed-form bounds for given n, t *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Master PRNG seed.")
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let t_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t" ] ~docv:"T" ~doc:"Adversary budget (default n-1).")
+
+let trials_arg =
+  Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc:"Trials to run.")
+
+let rules_conv =
+  let parse = function
+    | "paper" -> Ok Core.Onesided.paper
+    | "no-zero-rule" -> Ok Core.Onesided.no_zero_rule
+    | "symmetric" -> Ok Core.Onesided.symmetric
+    | s -> Error (`Msg (Printf.sprintf "unknown rules %S" s))
+  in
+  let print ppf r = Format.pp_print_string ppf r.Core.Onesided.label in
+  Arg.conv (parse, print)
+
+let rules_arg =
+  Arg.(
+    value
+    & opt rules_conv Core.Onesided.paper
+    & info [ "rules" ] ~docv:"RULES"
+        ~doc:"SynRan rule set: paper, no-zero-rule, or symmetric.")
+
+let adversary_names =
+  [ "null"; "random"; "static"; "drip"; "band"; "voting"; "leader-killer"; "crash-all" ]
+
+let adversary_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) adversary_names)) "band"
+    & info [ "adversary" ] ~docv:"ADV"
+        ~doc:
+          "Adversary: null, random, static, drip, band (adaptive band \
+           control + stalls), voting (band + rescue, no stalls), \
+           leader-killer, crash-all.")
+
+let protocol_names = [ "synran"; "leader"; "floodset" ]
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) protocol_names)) "synran"
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:"Protocol: synran, leader (CMS89-style leader coin), or floodset.")
+
+let inputs_arg =
+  Arg.(
+    value
+    & opt (enum [ ("random", `Random); ("split", `Split); ("zeros", `Zeros); ("ones", `Ones) ])
+        `Random
+    & info [ "inputs" ] ~docv:"INPUTS"
+        ~doc:"Input distribution: random, split, zeros, or ones.")
+
+let gen_of_inputs kind ~n =
+  match kind with
+  | `Random -> Sim.Runner.input_gen_random ~n
+  | `Split -> Sim.Runner.input_gen_split ~n
+  | `Zeros -> Sim.Runner.input_gen_const ~n 0
+  | `Ones -> Sim.Runner.input_gen_const ~n 1
+
+let generic_adversary_of_name name ~n ~t ~seed =
+  match name with
+  | "null" -> Sim.Adversary.null
+  | "random" -> Baselines.Adversaries.random_crash ~p:0.05
+  | "static" -> Baselines.Adversaries.static_random ~seed ~n ~budget:t ~horizon:8
+  | "drip" -> Baselines.Adversaries.drip ~per_round:(Stdlib.max 1 (t / 16))
+  | "crash-all" -> Baselines.Adversaries.crash_all_at ~round:1
+  | other -> invalid_arg ("unknown adversary " ^ other)
+
+let adversary_of_name name ~rules ~n ~t ~seed =
+  match name with
+  | "band" ->
+      Core.Lb_adversary.band_control ~rules ~bit_of_msg:Core.Synran.bit_of_msg ()
+  | "voting" ->
+      Core.Lb_adversary.band_control ~config:Core.Lb_adversary.voting_config
+        ~rules ~bit_of_msg:Core.Synran.bit_of_msg ()
+  | "leader-killer" ->
+      Core.Lb_adversary.leader_killer ~rules ~bit_of_msg:Core.Synran.bit_of_msg
+        ~prio_of_msg:Core.Synran.prio_of_msg ()
+  | other -> generic_adversary_of_name other ~n ~t ~seed
+
+let print_summary name (s : Sim.Runner.summary) =
+  Printf.printf "%s\n" name;
+  Printf.printf "  trials            %d\n" s.Sim.Runner.trials;
+  Printf.printf "  mean rounds       %.3f (+/- %.3f se)\n"
+    (Sim.Runner.mean_rounds s)
+    (Stats.Welford.std_error s.Sim.Runner.rounds);
+  Printf.printf "  rounds min/max    %.0f / %.0f\n"
+    (Stats.Welford.min s.Sim.Runner.rounds)
+    (Stats.Welford.max s.Sim.Runner.rounds);
+  Printf.printf "  mean kills        %.2f\n" (Stats.Welford.mean s.Sim.Runner.kills);
+  Printf.printf "  decided 0 / 1     %d / %d\n" s.Sim.Runner.decided_zero
+    s.Sim.Runner.decided_one;
+  Printf.printf "  non-terminating   %d\n" s.Sim.Runner.non_terminating;
+  (match s.Sim.Runner.safety_errors with
+  | [] -> Printf.printf "  safety            ok\n"
+  | errs ->
+      Printf.printf "  SAFETY VIOLATIONS %d\n" (List.length errs);
+      List.iter (fun e -> Printf.printf "    %s\n" e) errs);
+  Printf.printf "  rounds histogram:\n%s\n"
+    (Stats.Histogram.render ~width:30 s.Sim.Runner.rounds_hist)
+
+let run_cmd =
+  let run n t trials seed rules adv_name proto_name inputs =
+    let t = Option.value t ~default:(n - 1) in
+    let gen = gen_of_inputs inputs ~n in
+    match proto_name with
+    | "synran" | "leader" ->
+        let adversary = adversary_of_name adv_name ~rules ~n ~t ~seed in
+        let coin =
+          if proto_name = "leader" then Core.Synran.Leader_priority
+          else Core.Synran.Local_flip
+        in
+        let protocol = Core.Synran.protocol ~rules ~coin n in
+        let s =
+          Sim.Runner.run_trials ~max_rounds:2000 ~trials ~seed ~gen_inputs:gen
+            ~t protocol adversary
+        in
+        print_summary
+          (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
+             adversary.Sim.Adversary.name n t)
+          s
+    | _ ->
+        (* The bit-reading adversaries target SynRan-shaped protocols; fall
+           back to drip for the bit-oblivious FloodSet. *)
+        let adv_name =
+          match adv_name with
+          | "band" | "voting" | "leader-killer" -> "drip"
+          | other -> other
+        in
+        let adversary = generic_adversary_of_name adv_name ~n ~t ~seed in
+        let protocol = Baselines.Floodset.protocol ~rounds:(t + 1) () in
+        let s =
+          Sim.Runner.run_trials ~max_rounds:(t + 2) ~trials ~seed
+            ~gen_inputs:gen ~t protocol adversary
+        in
+        print_summary
+          (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
+             adversary.Sim.Adversary.name n t)
+          s
+  in
+  let term =
+    Term.(
+      const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ rules_arg
+      $ adversary_arg $ protocol_arg $ inputs_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run many trials of a protocol under an adversary")
+    term
+
+let trace_cmd =
+  let run n t seed rules adv_name inputs =
+    let t = Option.value t ~default:(n - 1) in
+    let rng = Prng.Rng.create seed in
+    let gen = gen_of_inputs inputs ~n in
+    let input_bits = gen rng in
+    let adversary = adversary_of_name adv_name ~rules ~n ~t ~seed in
+    let protocol = Core.Synran.protocol ~rules n in
+    let o =
+      Sim.Engine.run ~record_trace:true ~observer:Core.Synran.msg_is_one
+        ~max_rounds:2000 protocol adversary ~inputs:input_bits ~t ~rng
+    in
+    (match o.Sim.Engine.trace with
+    | Some tr -> print_endline (Sim.Trace.render tr)
+    | None -> ());
+    Printf.printf "rounds to decide: %s; kills used: %d\n"
+      (match o.Sim.Engine.rounds_to_decide with
+      | Some r -> string_of_int r
+      | None -> "did not terminate")
+      o.Sim.Engine.kills_used;
+    let verdict = Sim.Checker.check ~inputs:input_bits o in
+    if Sim.Checker.ok verdict then print_endline "safety+termination: ok"
+    else List.iter print_endline verdict.Sim.Checker.errors
+  in
+  let term =
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ rules_arg $ adversary_arg
+      $ inputs_arg)
+  in
+  Cmd.v (Cmd.info "trace" ~doc:"Run one execution and dump the round trace") term
+
+let coinflip_cmd =
+  let run n seed trials budget =
+    let budget =
+      Option.value budget
+        ~default:(int_of_float (Float.ceil (Coinflip.Bounds.h n)))
+    in
+    Printf.printf "n=%d budget=%d (paper bound 4*sqrt(n ln n) = %.1f)\n\n" n
+      budget (Coinflip.Bounds.h n);
+    List.iter
+      (fun game ->
+        let best =
+          Coinflip.Control.best_controllable_outcome ~trials ~seed ~budget
+            ~strategy:Coinflip.Strategy.best_available game
+        in
+        Printf.printf "%-22s best outcome %d forced with p=%.4f (target > %.4f): %s\n"
+          game.Coinflip.Game.name best.Coinflip.Control.target
+          best.Coinflip.Control.proportion
+          (1.0 -. (1.0 /. float_of_int n))
+          (if Coinflip.Control.controls best ~n then "CONTROLLED" else "not controlled"))
+      (Coinflip.Games.all n)
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"B" ~doc:"Adversary budget (default 4 sqrt(n ln n)).")
+  in
+  let term = Term.(const run $ n_arg $ seed_arg $ trials_arg $ budget_arg) in
+  Cmd.v
+    (Cmd.info "coinflip" ~doc:"Measure control of one-round coin-flipping games")
+    term
+
+let experiments_cmd =
+  let run profile seed which csv =
+    let profile =
+      Option.value (Core.Experiments.profile_of_string profile)
+        ~default:Core.Experiments.Quick
+    in
+    let tables =
+      match which with
+      | [] -> Core.Experiments.all profile ~seed
+      | ids ->
+          List.map
+            (fun id ->
+              match Core.Experiments.by_id id with
+              | Some f -> f profile ~seed
+              | None -> failwith ("unknown experiment id " ^ id))
+            ids
+    in
+    List.iter
+      (fun tbl ->
+        if csv then print_endline (Stats.Table.to_csv tbl)
+        else begin
+          print_endline (Stats.Table.render tbl);
+          print_newline ()
+        end)
+      tables
+  in
+  let profile_arg =
+    Arg.(
+      value & opt string "quick"
+      & info [ "profile" ] ~docv:"PROFILE" ~doc:"quick or full.")
+  in
+  let which_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"IDS" ~doc:"Experiment ids (e1..e8); all if omitted.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+  in
+  let term = Term.(const run $ profile_arg $ seed_arg $ which_arg $ csv_arg) in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1-E8)")
+    term
+
+let bounds_cmd =
+  let run n t =
+    let t = Option.value t ~default:(n - 1) in
+    Printf.printf "n = %d, t = %d\n" n t;
+    Printf.printf "  lower bound rounds (Thm 1)     %.2f\n"
+      (Core.Theory.lower_bound_rounds ~n ~t);
+    Printf.printf "  with probability               %.4f\n"
+      (Core.Theory.lower_bound_success_prob ~n);
+    Printf.printf "  tight bound shape (Thm 3)      %.2f\n"
+      (Core.Theory.tight_bound_shape ~n ~t);
+    Printf.printf "  large-t shape sqrt(n/log n)    %.2f\n"
+      (Core.Theory.upper_bound_large_t_shape ~n);
+    Printf.printf "  deterministic rounds (t+1)     %d\n"
+      (Core.Theory.deterministic_rounds ~t);
+    Printf.printf "  per-round kills 4sqrt(n ln n)+1 %.2f\n"
+      (Core.Theory.per_round_kills ~n);
+    Printf.printf "  switch threshold sqrt(n/ln n)  %.2f\n"
+      (Core.Synran.switch_threshold ~n);
+    Printf.printf "  coin-game budget (Cor 2.2,k=2) %.2f\n"
+      (Coinflip.Bounds.lemma_budget ~k:2 n)
+  in
+  let term = Term.(const run $ n_arg $ t_arg) in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print the closed-form bounds for n, t") term
+
+let valency_cmd =
+  let run n t seed rounds adv_name rules =
+    let t = Option.value t ~default:(n - 1) in
+    let adversary = adversary_of_name adv_name ~rules ~n ~t ~seed in
+    Printf.printf
+      "Valency trajectory (Sec 3.2): n=%d t=%d adversary=%s\n\n" n t
+      adversary.Sim.Adversary.name;
+    Printf.printf "  %-12s %-8s %-8s %s\n" "after round" "min r" "max r"
+      "classification";
+    List.iter
+      (fun (r, e) ->
+        Printf.printf "  %-12d %-8.3f %-8.3f %s\n" r
+          e.Core.Valency_probe.min_r e.Core.Valency_probe.max_r
+          (Core.Valency.to_string e.Core.Valency_probe.classification))
+      (Core.Valency_probe.trajectory ~rounds ~n ~t ~seed adversary)
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to probe.")
+  in
+  let term =
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ rounds_arg $ adversary_arg
+      $ rules_arg)
+  in
+  Cmd.v
+    (Cmd.info "valency"
+       ~doc:"Probe the valency (Sec 3.2) of an attacked execution, round by round")
+    term
+
+let async_cmd =
+  let run n t seed trials scheduler_name =
+    let t = Option.value t ~default:((n - 1) / 2) in
+    let scheduler =
+      match scheduler_name with
+      | "fair" -> Async.Scheduler.fair
+      | "fifo" -> Async.Scheduler.fifo
+      | "crash" -> Async.Scheduler.random_crash ~p:0.02
+      | _ -> Async.Benor.splitter ()
+    in
+    let s =
+      Async.Engine.run_trials ~max_steps:400_000 ~phase_of:Async.Benor.phase
+        ~trials ~seed
+        ~gen_inputs:(fun rng -> Prng.Sample.random_bits rng n)
+        ~t (Async.Benor.protocol ~t) scheduler
+    in
+    Printf.printf "async Ben-Or, n=%d t=%d scheduler=%s (%d trials)\n" n t
+      scheduler_name trials;
+    Printf.printf "  mean phases      %.2f\n" (Stats.Welford.mean s.Async.Engine.phases);
+    Printf.printf "  mean deliveries  %.0f\n" (Stats.Welford.mean s.Async.Engine.deliveries);
+    Printf.printf "  mean coin flips  %.1f\n" (Stats.Welford.mean s.Async.Engine.flips);
+    Printf.printf "  non-terminating  %d\n" s.Async.Engine.non_terminating;
+    Printf.printf "  disagreements    %d, validity errors %d\n"
+      s.Async.Engine.disagreements s.Async.Engine.validity_errors
+  in
+  let scheduler_arg =
+    Arg.(
+      value
+      & opt (enum [ ("fair", "fair"); ("fifo", "fifo"); ("crash", "crash"); ("splitter", "splitter") ]) "fair"
+      & info [ "scheduler" ] ~docv:"S"
+          ~doc:"Scheduler: fair, fifo, crash, or splitter (adversarial).")
+  in
+  let term =
+    Term.(const run $ n_arg $ t_arg $ seed_arg $ trials_arg $ scheduler_arg)
+  in
+  Cmd.v
+    (Cmd.info "async" ~doc:"Run asynchronous Ben-Or under a chosen scheduler")
+    term
+
+let byzantine_cmd =
+  let run n t seed trials proto_name adv_name =
+    let t = Option.value t ~default:((n - 1) / 5) in
+    let adversary () =
+      match adv_name with
+      | "null" -> Byz.Adversary.null
+      | "equivocator" -> Byz.Adversary.equivocator ~budget_fraction:1.0 ()
+      | "king-spoofer" -> Byz.Phase_king.king_spoofer ()
+      | _ ->
+          Byz.Adversary.crash_like
+            ~victims:(List.init t (fun i -> (i + 1, i)))
+    in
+    let report name s =
+      Printf.printf "%s vs %s (n=%d t=%d, %d trials)\n" name adv_name n t
+        trials;
+      Printf.printf "  mean rounds        %.2f\n"
+        (Stats.Welford.mean s.Byz.Engine.rounds);
+      Printf.printf "  non-terminating    %d\n" s.Byz.Engine.non_terminating;
+      Printf.printf "  agreement errors   %d\n" s.Byz.Engine.agreement_errors;
+      Printf.printf "  validity errors    %d\n" s.Byz.Engine.validity_errors
+    in
+    let gen rng = Prng.Sample.random_bits rng n in
+    match proto_name with
+    | "phase-king" ->
+        (* The king-spoofer forges Phase King messages; other adversaries
+           are content-agnostic. *)
+        report "phase-king"
+          (Byz.Engine.run_trials ~max_rounds:500 ~trials ~seed ~gen_inputs:gen
+             ~t (Byz.Phase_king.protocol ~t) (adversary ()))
+    | "eig" ->
+        let t = Stdlib.min t 2 in
+        let adv =
+          match adv_name with
+          | "king-spoofer" -> Byz.Eig.liar ()
+          | "null" -> Byz.Adversary.null
+          | "equivocator" -> Byz.Adversary.equivocator ~budget_fraction:1.0 ()
+          | _ -> Byz.Adversary.crash_like ~victims:(List.init t (fun i -> (i + 1, i)))
+        in
+        report "eig"
+          (Byz.Engine.run_trials ~max_rounds:500 ~trials ~seed ~gen_inputs:gen
+             ~t (Byz.Eig.protocol ~t) adv)
+    | "chor-coan" ->
+        let g = Stdlib.max 1 (int_of_float (log (float_of_int n) /. log 2.0)) in
+        let adv =
+          match adv_name with
+          | "king-spoofer" -> Byz.Chor_coan.group_corruptor ~group_size:g ()
+          | "null" -> Byz.Adversary.null
+          | "equivocator" -> Byz.Adversary.equivocator ~budget_fraction:1.0 ()
+          | _ -> Byz.Adversary.crash_like ~victims:(List.init t (fun i -> (i + 1, i)))
+        in
+        report
+          (Printf.sprintf "chor-coan (g=%d)" g)
+          (Byz.Engine.run_trials ~max_rounds:500 ~trials ~seed ~gen_inputs:gen
+             ~t (Byz.Chor_coan.protocol ~t ~group_size:g) adv)
+    | _ ->
+        (* king-spoofer forges Phase King payloads; swap it for the generic
+           equivocator against Rabin. *)
+        let adv =
+          match adv_name with
+          | "null" -> Byz.Adversary.null
+          | "crash" ->
+              Byz.Adversary.crash_like
+                ~victims:(List.init t (fun i -> (i + 1, i)))
+          | "equivocator" | "king-spoofer" | _ ->
+              Byz.Adversary.equivocator ~budget_fraction:1.0 ()
+        in
+        report "rabin-oracle"
+          (Byz.Engine.run_trials ~max_rounds:500 ~trials ~seed ~gen_inputs:gen
+             ~t (Byz.Rabin.protocol ~t ~oracle_seed:(seed + 3)) adv)
+  in
+  let proto_arg =
+    Arg.(
+      value
+      & opt (enum [ ("phase-king", "phase-king"); ("eig", "eig"); ("rabin", "rabin"); ("chor-coan", "chor-coan") ]) "phase-king"
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:"phase-king, eig, rabin, or chor-coan.")
+  in
+  let adv_arg =
+    Arg.(
+      value
+      & opt (enum [ ("null", "null"); ("equivocator", "equivocator"); ("king-spoofer", "king-spoofer"); ("crash", "crash") ]) "equivocator"
+      & info [ "adversary" ] ~docv:"A"
+          ~doc:"null, equivocator, king-spoofer (protocol-tailored), or crash.")
+  in
+  let term =
+    Term.(const run $ n_arg $ t_arg $ seed_arg $ trials_arg $ proto_arg $ adv_arg)
+  in
+  Cmd.v
+    (Cmd.info "byzantine"
+       ~doc:"Run a Byzantine protocol under a forging adversary")
+    term
+
+let () =
+  let doc = "Reproduction of Bar-Joseph & Ben-Or, PODC 1998" in
+  let info = Cmd.info "synran" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; trace_cmd; coinflip_cmd; experiments_cmd; bounds_cmd;
+            valency_cmd; async_cmd; byzantine_cmd;
+          ]))

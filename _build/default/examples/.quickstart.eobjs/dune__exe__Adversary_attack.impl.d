@@ -1,0 +1,1 @@
+examples/adversary_attack.ml: Baselines Core Printf Prng Sim Stats

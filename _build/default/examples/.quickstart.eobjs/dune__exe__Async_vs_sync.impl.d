@@ -1,0 +1,1 @@
+examples/async_vs_sync.ml: Async Core List Printf Prng Sim Stats

@@ -1,0 +1,1 @@
+examples/byzantine_tour.ml: Byz List Printf Prng Stats

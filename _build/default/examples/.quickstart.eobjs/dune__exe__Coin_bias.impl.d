@@ -1,0 +1,1 @@
+examples/coin_bias.ml: Array Coinflip Float List Printf Stdlib Sys

@@ -1,0 +1,1 @@
+examples/coin_bias.mli:

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Array Core List Printf Sim Stats Sys

@@ -1,0 +1,48 @@
+(* Quickstart: run the paper's SynRan protocol once, adversary-free, and
+   once under the adaptive band-control adversary, and print what happened.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 64 in
+  let protocol = Core.Synran.protocol n in
+  let rng = Prng.Rng.create 2024 in
+  let inputs = Sim.Runner.input_gen_random ~n rng in
+
+  (* 1. No failures: consensus in a couple of rounds. *)
+  let free =
+    Sim.Engine.run protocol Sim.Adversary.null ~inputs ~t:0
+      ~rng:(Prng.Rng.create 1)
+  in
+  Printf.printf "adversary-free:  decided in %s rounds\n"
+    (match free.Sim.Engine.rounds_to_decide with
+    | Some r -> string_of_int r
+    | None -> "?");
+
+  (* 2. The adaptive fail-stop adversary of the paper's lower bound, with
+     budget t = n - 1: it stalls the protocol for Theta(sqrt(n / log n))
+     expected rounds by trimming 1-votes into the coin-flip band. *)
+  let adversary =
+    Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+      ~bit_of_msg:Core.Synran.bit_of_msg ()
+  in
+  let attacked =
+    Sim.Engine.run protocol adversary ~inputs ~t:(n - 1)
+      ~rng:(Prng.Rng.create 2)
+  in
+  Printf.printf "under attack:    decided in %s rounds (%d processes killed)\n"
+    (match attacked.Sim.Engine.rounds_to_decide with
+    | Some r -> string_of_int r
+    | None -> "?")
+    attacked.Sim.Engine.kills_used;
+
+  (* 3. Safety held either way — the checker verifies the three conditions
+     of Section 3.1 (Agreement, Validity, Termination). *)
+  Sim.Checker.assert_ok ~inputs free;
+  Sim.Checker.assert_ok ~inputs attacked;
+  Printf.printf "safety:          agreement, validity, termination all hold\n";
+
+  (* 4. The paper's bounds for this configuration. *)
+  Printf.printf "theory:          Theta-shape %.1f rounds, deterministic %d rounds\n"
+    (Core.Theory.tight_bound_shape ~n ~t:(n - 1))
+    (Core.Theory.deterministic_rounds ~t:(n - 1))

@@ -1,0 +1,53 @@
+(* Scaling study: measure SynRan's expected rounds under the adaptive
+   adversary as the system grows with t = n - 1, and fit the measurements
+   against Theorem 2's sqrt(n / log n) shape.
+
+     dune exec examples/scaling_study.exe -- [trials-per-point] *)
+
+let () =
+  let trials =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60
+  in
+  let ns = [ 32; 48; 64; 96; 128; 192; 256 ] in
+  let adversary =
+    Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+      ~bit_of_msg:Core.Synran.bit_of_msg ()
+  in
+  Printf.printf
+    "SynRan vs adaptive band control, t = n - 1, %d trials per point\n\n" trials;
+  Printf.printf "  %6s  %12s  %10s  %14s\n" "n" "mean rounds" "+/- se"
+    "sqrt(n/log n)";
+  let points =
+    List.map
+      (fun n ->
+        let protocol = Core.Synran.protocol n in
+        let s =
+          Sim.Runner.run_trials ~max_rounds:2000 ~trials ~seed:13
+            ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+            ~t:(n - 1) protocol adversary
+        in
+        let shape = Core.Theory.upper_bound_large_t_shape ~n in
+        Printf.printf "  %6d  %12.2f  %10.2f  %14.2f\n" n
+          (Sim.Runner.mean_rounds s)
+          (Stats.Welford.std_error s.Sim.Runner.rounds)
+          shape;
+        (shape, Sim.Runner.mean_rounds s))
+      ns
+    |> Array.of_list
+  in
+  let c = Stats.Fit.through_origin points in
+  let r2 = Stats.Fit.r2_through_origin points in
+  Printf.printf
+    "\nfit: E[rounds] ~ %.2f * sqrt(n / log n)   (R^2 = %.4f)\n" c r2;
+  (* A power-law fit should land near the same exponent as sqrt(n/log n),
+     i.e. a bit below 0.5 over this range. *)
+  let power =
+    Stats.Fit.power_law
+      (Array.of_list
+         (List.map2
+            (fun n (_, rounds) -> (float_of_int n, rounds))
+            ns
+            (Array.to_list points)))
+  in
+  Printf.printf "power-law cross-check: rounds ~ %.2f * n^%.3f (log-log R^2 = %.4f)\n"
+    power.Stats.Fit.coefficient power.Stats.Fit.exponent power.Stats.Fit.r2_log

@@ -1,0 +1,1 @@
+lib/async/benor.ml: Hashtbl List Printf Prng Protocol Scheduler

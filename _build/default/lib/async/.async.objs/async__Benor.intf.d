@@ -1,0 +1,1 @@
+lib/async/benor.mli: Protocol Scheduler

@@ -1,0 +1,1 @@
+lib/async/engine.ml: Array Hashtbl List Option Printf Prng Protocol Scheduler Stats Stdlib

@@ -1,0 +1,1 @@
+lib/async/engine.mli: Prng Protocol Scheduler Stats

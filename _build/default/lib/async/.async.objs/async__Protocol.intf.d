@@ -1,0 +1,1 @@
+lib/async/protocol.mli: Prng

@@ -1,0 +1,1 @@
+lib/async/scheduler.ml: Array Fun List Printf Prng

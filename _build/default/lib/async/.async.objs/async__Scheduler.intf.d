@@ -1,0 +1,1 @@
+lib/async/scheduler.mli: Prng

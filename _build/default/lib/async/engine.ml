@@ -1,0 +1,219 @@
+exception Decision_changed of string
+exception Invalid_action of string
+
+type outcome = {
+  decisions : int option array;
+  crashed : bool array;
+  deliveries : int;
+  sends : int;
+  coin_flips : int;
+  all_decided : bool;
+  steps : int;
+  max_phase : int option;
+}
+
+let run (type s m) ?(max_steps = 200_000) ?phase_of
+    (protocol : (s, m) Protocol.t) (scheduler : m Scheduler.t) ~inputs ~t ~rng
+    =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Async.Engine.run: no processes";
+  if t < 0 || t > n then invalid_arg "Async.Engine.run: bad budget";
+  let crashed = Array.make n false in
+  let decisions = Array.make n None in
+  let proc_rngs = Prng.Rng.split_n rng n in
+  let sched_rng = Prng.Rng.split rng in
+  let pending : (int, m Scheduler.in_flight) Hashtbl.t = Hashtbl.create 256 in
+  (* Send-ordered view of [pending], maintained incrementally: new messages
+     are pushed newest-first and the oldest-first view is rebuilt by a
+     filter + reverse (no sort); the backing list is compacted when mostly
+     tombstones. *)
+  let rev_pending : m Scheduler.in_flight list ref = ref [] in
+  let live m = Hashtbl.mem pending m.Scheduler.id in
+  let pending_view () =
+    let view = List.rev (List.filter live !rev_pending) in
+    if 2 * List.length view < List.length !rev_pending then
+      rev_pending := List.filter live !rev_pending;
+    view
+  in
+  let next_id = ref 0 in
+  let sends = ref 0 in
+  let deliveries = ref 0 in
+  let crash_budget = ref t in
+  let enqueue src (sendlist : m Protocol.send list) =
+    List.iter
+      (fun { Protocol.dst; payload } ->
+        if dst < 0 || dst >= n then
+          invalid_arg "Async.Engine.run: protocol sent out of range";
+        incr sends;
+        (* Messages to crashed processes evaporate immediately. *)
+        if not crashed.(dst) then begin
+          let id = !next_id in
+          incr next_id;
+          let m = { Scheduler.id; src; dst; payload } in
+          Hashtbl.replace pending id m;
+          rev_pending := m :: !rev_pending
+        end)
+      sendlist
+  in
+  (* Initialization: every process produces its first sends. *)
+  let states =
+    Array.init n (fun pid ->
+        let state, sendlist = protocol.Protocol.init ~n ~pid ~input:inputs.(pid) in
+        enqueue pid sendlist;
+        state)
+  in
+  let record_decision pid state =
+    let after = protocol.Protocol.decision state in
+    match (decisions.(pid), after) with
+    | Some v, Some v' when v <> v' ->
+        raise
+          (Decision_changed
+             (Printf.sprintf "process %d changed decision %d -> %d" pid v v'))
+    | Some v, None ->
+        raise
+          (Decision_changed (Printf.sprintf "process %d revoked decision %d" pid v))
+    | _, after -> decisions.(pid) <- after
+  in
+  let all_live_decided () =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if (not crashed.(i)) && decisions.(i) = None then ok := false
+    done;
+    !ok
+  in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    if Hashtbl.length pending = 0 || all_live_decided () then continue := false
+    else begin
+      incr steps;
+      let pending_list = pending_view () in
+      let view =
+        {
+          Scheduler.n;
+          t;
+          crash_budget_left = !crash_budget;
+          crashed = Array.copy crashed;
+          decided = Array.copy decisions;
+          pending = pending_list;
+          steps_taken = !steps;
+        }
+      in
+      match scheduler.Scheduler.pick view sched_rng with
+      | Scheduler.Crash pid ->
+          if pid < 0 || pid >= n then
+            raise (Invalid_action (Printf.sprintf "crash %d out of range" pid));
+          if crashed.(pid) then
+            raise (Invalid_action (Printf.sprintf "process %d already crashed" pid));
+          if !crash_budget <= 0 then
+            raise (Invalid_action "crash budget exhausted");
+          decr crash_budget;
+          crashed.(pid) <- true;
+          (* Its in-flight traffic evaporates, both directions. *)
+          let doomed =
+            Hashtbl.fold
+              (fun id m acc ->
+                if m.Scheduler.src = pid || m.Scheduler.dst = pid then id :: acc
+                else acc)
+              pending []
+          in
+          List.iter (Hashtbl.remove pending) doomed
+      | Scheduler.Deliver id -> (
+          match Hashtbl.find_opt pending id with
+          | None ->
+              raise (Invalid_action (Printf.sprintf "message %d not in flight" id))
+          | Some m ->
+              Hashtbl.remove pending id;
+              let dst = m.Scheduler.dst in
+              if not crashed.(dst) then begin
+                incr deliveries;
+                let state', sendlist =
+                  protocol.Protocol.on_message states.(dst)
+                    ~sender:m.Scheduler.src m.Scheduler.payload proc_rngs.(dst)
+                in
+                states.(dst) <- state';
+                record_decision dst state';
+                enqueue dst sendlist
+              end)
+    end
+  done;
+  let coin_flips =
+    Array.fold_left (fun acc s -> acc + protocol.Protocol.coin_flips s) 0 states
+  in
+  let max_phase =
+    Option.map
+      (fun f ->
+        Array.to_list states
+        |> List.mapi (fun i s -> if crashed.(i) then 0 else f s)
+        |> List.fold_left Stdlib.max 0)
+      phase_of
+  in
+  {
+    decisions = Array.copy decisions;
+    crashed = Array.copy crashed;
+    deliveries = !deliveries;
+    sends = !sends;
+    coin_flips;
+    all_decided = all_live_decided ();
+    steps = !steps;
+    max_phase;
+  }
+
+type summary = {
+  trials : int;
+  deliveries : Stats.Welford.t;
+  phases : Stats.Welford.t;
+  flips : Stats.Welford.t;
+  non_terminating : int;
+  disagreements : int;
+  validity_errors : int;
+}
+
+let run_trials ?max_steps ?phase_of ~trials ~seed ~gen_inputs ~t protocol
+    scheduler =
+  if trials <= 0 then invalid_arg "Async.Engine.run_trials";
+  let master = Prng.Rng.create seed in
+  let deliveries = Stats.Welford.create () in
+  let phases = Stats.Welford.create () in
+  let flips = Stats.Welford.create () in
+  let non_terminating = ref 0 in
+  let disagreements = ref 0 in
+  let validity_errors = ref 0 in
+  for _ = 1 to trials do
+    let rng = Prng.Rng.split master in
+    let inputs = gen_inputs rng in
+    let o = run ?max_steps ?phase_of protocol scheduler ~inputs ~t ~rng in
+    if not o.all_decided then incr non_terminating
+    else begin
+      Stats.Welford.add_int deliveries o.deliveries;
+      Stats.Welford.add_int flips o.coin_flips;
+      match o.max_phase with
+      | Some p -> Stats.Welford.add_int phases p
+      | None -> ()
+    end;
+    (* Agreement among all deciders; validity on unanimous inputs. *)
+    let first = ref None in
+    Array.iter
+      (fun d ->
+        match (d, !first) with
+        | Some v, None -> first := Some v
+        | Some v, Some v' when v <> v' -> incr disagreements
+        | _ -> ())
+      o.decisions;
+    let v0 = inputs.(0) in
+    if Array.for_all (fun x -> x = v0) inputs then
+      Array.iter
+        (function
+          | Some d when d <> v0 -> incr validity_errors
+          | Some _ | None -> ())
+        o.decisions
+  done;
+  {
+    trials;
+    deliveries;
+    phases;
+    flips;
+    non_terminating = !non_terminating;
+    disagreements = !disagreements;
+    validity_errors = !validity_errors;
+  }

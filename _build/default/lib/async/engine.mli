@@ -1,0 +1,61 @@
+(** The asynchronous execution engine.
+
+    A configuration is (process states, in-flight message multiset,
+    crash/decision bookkeeping). Each step, the {!Scheduler} either
+    delivers one in-flight message (the receiver's handler runs and may
+    send more messages) or crashes a process within the budget. The run
+    ends when every live process has decided and no further progress is
+    needed, when nothing is in flight, or at the step cap.
+
+    As in the synchronous engine, decisions are irrevocable and validated;
+    messages to or from crashed processes evaporate. *)
+
+exception Decision_changed of string
+exception Invalid_action of string
+
+type outcome = {
+  decisions : int option array;
+  crashed : bool array;
+  deliveries : int;  (** Messages delivered (the async time measure). *)
+  sends : int;  (** Messages sent (message complexity). *)
+  coin_flips : int;  (** Total local coins consumed (Aspnes's measure). *)
+  all_decided : bool;  (** Every live process decided before the cap. *)
+  steps : int;
+  max_phase : int option;
+      (** Highest protocol phase reached, when the protocol reports one
+          via the [phase_of] observer. *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?phase_of:('state -> int) ->
+  ('state, 'msg) Protocol.t ->
+  'msg Scheduler.t ->
+  inputs:int array ->
+  t:int ->
+  rng:Prng.Rng.t ->
+  outcome
+(** Execute to quiescence or [max_steps] (default 200_000). [t] is the
+    scheduler's crash budget. *)
+
+type summary = {
+  trials : int;
+  deliveries : Stats.Welford.t;
+  phases : Stats.Welford.t;
+  flips : Stats.Welford.t;
+  non_terminating : int;
+  disagreements : int;
+  validity_errors : int;
+}
+
+val run_trials :
+  ?max_steps:int ->
+  ?phase_of:('state -> int) ->
+  trials:int ->
+  seed:int ->
+  gen_inputs:(Prng.Rng.t -> int array) ->
+  t:int ->
+  ('state, 'msg) Protocol.t ->
+  'msg Scheduler.t ->
+  summary
+(** Aggregate repeated runs, checking agreement and validity on each. *)

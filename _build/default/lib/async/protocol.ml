@@ -1,0 +1,12 @@
+type 'msg send = { dst : int; payload : 'msg }
+
+let broadcast ~n payload = List.init n (fun dst -> { dst; payload })
+
+type ('state, 'msg) t = {
+  name : string;
+  init : n:int -> pid:int -> input:int -> 'state * 'msg send list;
+  on_message :
+    'state -> sender:int -> 'msg -> Prng.Rng.t -> 'state * 'msg send list;
+  decision : 'state -> int option;
+  coin_flips : 'state -> int;
+}

@@ -1,0 +1,59 @@
+type 'msg in_flight = { id : int; src : int; dst : int; payload : 'msg }
+
+type 'msg view = {
+  n : int;
+  t : int;
+  crash_budget_left : int;
+  crashed : bool array;
+  decided : int option array;
+  pending : 'msg in_flight list;
+  steps_taken : int;
+}
+
+type action = Deliver of int | Crash of int
+
+type 'msg t = { name : string; pick : 'msg view -> Prng.Rng.t -> action }
+
+let nth_pending view k = (List.nth view.pending k).id
+
+let fair =
+  {
+    name = "fair";
+    pick =
+      (fun view rng ->
+        Deliver (nth_pending view (Prng.Rng.int rng (List.length view.pending))));
+  }
+
+let fifo =
+  {
+    name = "fifo";
+    pick =
+      (fun view _rng ->
+        let oldest =
+          List.fold_left
+            (fun acc m -> match acc with
+              | None -> Some m
+              | Some best -> if m.id < best.id then Some m else acc)
+            None view.pending
+        in
+        match oldest with Some m -> Deliver m.id | None -> assert false);
+  }
+
+let random_crash ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Scheduler.random_crash";
+  {
+    name = Printf.sprintf "random-crash[p=%.3f]" p;
+    pick =
+      (fun view rng ->
+        let live =
+          List.init view.n Fun.id
+          |> List.filter (fun i -> not view.crashed.(i))
+        in
+        if
+          view.crash_budget_left > 0 && live <> []
+          && Prng.Rng.bernoulli rng p
+        then Crash (List.nth live (Prng.Rng.int rng (List.length live)))
+        else
+          Deliver
+            (nth_pending view (Prng.Rng.int rng (List.length view.pending))));
+  }

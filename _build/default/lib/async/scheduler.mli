@@ -1,0 +1,51 @@
+(** The asynchronous adversary: it owns the network (delivery order) and
+    the crash budget.
+
+    At every step the scheduler sees the full configuration — every
+    in-flight message {e including its payload} (full information) — and
+    either delivers one message or crashes a process. A crashed process's
+    in-flight and future messages are discarded and it takes no further
+    steps. The scheduler cannot forge or alter messages (crash faults
+    only), and cannot starve the run forever: the engine caps total steps,
+    and a schedule that exhausts the cap without decisions is reported as
+    non-terminating — which is precisely FLP's conclusion for deterministic
+    protocols. *)
+
+type 'msg in_flight = {
+  id : int;  (** Unique, monotonically increasing with send order. *)
+  src : int;
+  dst : int;
+  payload : 'msg;
+}
+
+type 'msg view = {
+  n : int;
+  t : int;
+  crash_budget_left : int;
+  crashed : bool array;
+  decided : int option array;
+  pending : 'msg in_flight list;  (** Never empty when [pick] is called; in send order. *)
+  steps_taken : int;
+}
+
+type action =
+  | Deliver of int  (** Message id from [pending]. *)
+  | Crash of int  (** Process id; must be alive and within budget. *)
+
+type 'msg t = {
+  name : string;
+  pick : 'msg view -> Prng.Rng.t -> action;
+}
+
+val fair : 'msg t
+(** Deliver a uniformly random pending message, never crash — the
+    benign/random scheduler under which Ben-Or terminates in O(1) expected
+    phases for t = 0. *)
+
+val fifo : 'msg t
+(** Deliver the oldest pending message: a fully synchronous-ish benign
+    schedule. *)
+
+val random_crash : p:float -> 'msg t
+(** Like {!fair}, but before each delivery crashes a random live process
+    with probability [p] while the budget lasts. *)

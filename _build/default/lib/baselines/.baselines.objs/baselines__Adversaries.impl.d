@@ -1,0 +1,1 @@
+lib/baselines/adversaries.ml: Adversary Array List Printf Prng Sim

@@ -1,0 +1,1 @@
+lib/baselines/adversaries.mli: Sim

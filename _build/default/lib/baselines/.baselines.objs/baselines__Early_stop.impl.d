@@ -1,0 +1,1 @@
+lib/baselines/early_stop.ml: Array Int Option Printf Set Sim

@@ -1,0 +1,1 @@
+lib/baselines/early_stop.mli: Sim

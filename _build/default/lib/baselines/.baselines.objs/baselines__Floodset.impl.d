@@ -1,0 +1,1 @@
+lib/baselines/floodset.ml: Array Option Printf Sim

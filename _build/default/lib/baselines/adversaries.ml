@@ -1,0 +1,96 @@
+open Sim
+
+let null = Adversary.null
+
+let take_budget view kills =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | k :: rest -> k :: take (n - 1) rest
+  in
+  take view.Adversary.budget_left kills
+
+let random_crash ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Adversaries.random_crash";
+  {
+    Adversary.name = Printf.sprintf "random-crash[p=%.3f]" p;
+    plan =
+      (fun view rng ->
+        Adversary.active_pids view
+        |> List.filter (fun _ -> Prng.Rng.bernoulli rng p)
+        |> List.map Adversary.kill_silent
+        |> take_budget view);
+  }
+
+let random_partial ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Adversaries.random_partial";
+  {
+    Adversary.name = Printf.sprintf "random-partial[p=%.3f]" p;
+    plan =
+      (fun view rng ->
+        Adversary.active_pids view
+        |> List.filter (fun _ -> Prng.Rng.bernoulli rng p)
+        |> List.map (fun pid ->
+               let recipients =
+                 Adversary.active_pids view
+                 |> List.filter (fun _ -> Prng.Rng.bool rng)
+               in
+               Adversary.kill_after_send pid ~recipients)
+        |> take_budget view);
+  }
+
+let static_schedule schedule =
+  {
+    Adversary.name = "static-schedule";
+    plan =
+      (fun view _rng ->
+        schedule
+        |> List.filter_map (fun (round, pid) ->
+               if
+                 round = view.Adversary.round
+                 && pid >= 0
+                 && pid < view.Adversary.n
+                 && view.Adversary.active.(pid)
+               then Some (Adversary.kill_silent pid)
+               else None)
+        |> take_budget view);
+  }
+
+let static_random ~seed ~n ~budget ~horizon =
+  if budget < 0 || budget > n then invalid_arg "Adversaries.static_random";
+  if horizon < 1 then invalid_arg "Adversaries.static_random: horizon";
+  let rng = Prng.Rng.create seed in
+  let victims = Prng.Sample.choose_k rng n budget in
+  let schedule =
+    Array.to_list victims
+    |> List.map (fun pid -> (Prng.Rng.int_in rng 1 horizon, pid))
+  in
+  Adversary.map_name
+    (fun _ -> Printf.sprintf "static-random[b=%d,h=%d]" budget horizon)
+    (static_schedule schedule)
+
+let crash_all_at ~round =
+  {
+    Adversary.name = Printf.sprintf "crash-all@r%d" round;
+    plan =
+      (fun view _rng ->
+        if view.Adversary.round <> round then []
+        else
+          Adversary.active_pids view
+          |> List.map Adversary.kill_silent
+          |> take_budget view);
+  }
+
+let drip ~per_round =
+  if per_round < 0 then invalid_arg "Adversaries.drip";
+  {
+    Adversary.name = Printf.sprintf "drip[%d/round]" per_round;
+    plan =
+      (fun view _rng ->
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | pid :: rest -> Adversary.kill_silent pid :: take (n - 1) rest
+        in
+        take per_round (Adversary.active_pids view) |> take_budget view);
+  }

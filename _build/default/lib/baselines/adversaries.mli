@@ -1,0 +1,37 @@
+(** Generic (protocol-agnostic) fail-stop adversaries.
+
+    These never inspect message contents, so they work against any protocol.
+    The oblivious ones ([static_*]) model the {e non-adaptive} adversary of
+    Chor-Merritt-Shmoys discussed in Section 1.2 — the contrast class for
+    which the paper's lower bound provably does {e not} hold (experiment
+    E7). *)
+
+val null : ('s, 'm) Sim.Adversary.t
+(** Never fails anyone (re-exported from {!Sim.Adversary} for symmetry). *)
+
+val random_crash : p:float -> ('s, 'm) Sim.Adversary.t
+(** Each round, each active process is killed independently with
+    probability [p] (silent kill), while budget remains. *)
+
+val random_partial : p:float -> ('s, 'm) Sim.Adversary.t
+(** Like {!random_crash} but each victim's final message is delivered to an
+    independent random subset of processes — exercises partial-send
+    semantics. *)
+
+val static_schedule : (int * int) list -> ('s, 'm) Sim.Adversary.t
+(** [static_schedule [(round, pid); ...]] kills [pid] in [round] if it is
+    still active — a fully oblivious adversary fixed before execution. *)
+
+val static_random :
+  seed:int -> n:int -> budget:int -> horizon:int -> ('s, 'm) Sim.Adversary.t
+(** A random oblivious schedule: [budget] distinct processes, each with a
+    kill round uniform in [1, horizon], drawn once from [seed]. *)
+
+val crash_all_at : round:int -> ('s, 'm) Sim.Adversary.t
+(** Spends the whole remaining budget in one round (lowest pids first) —
+    the "massacre" stress test. *)
+
+val drip : per_round:int -> ('s, 'm) Sim.Adversary.t
+(** Kills exactly [per_round] active processes (lowest pids) every round
+    until the budget runs out — the naive budget-spreading strategy the
+    lower bound's adversary improves upon. *)

@@ -1,0 +1,80 @@
+module IntSet = Set.Make (Int)
+
+type msg = { has_zero : bool; has_one : bool }
+
+type state = {
+  rounds_total : int;
+  default : int;
+  has_zero : bool;
+  has_one : bool;
+  rounds_done : int;
+  prev_senders : IntSet.t option;
+  decision : int option;
+  early : bool;
+}
+
+let decided_early s = s.early
+
+let protocol ~rounds ?(default = 0) () =
+  if rounds < 1 then invalid_arg "Early_stop.protocol: rounds must be >= 1";
+  if default <> 0 && default <> 1 then invalid_arg "Early_stop.protocol: default";
+  let init ~n:_ ~pid:_ ~input =
+    {
+      rounds_total = rounds;
+      default;
+      has_zero = input = 0;
+      has_one = input = 1;
+      rounds_done = 0;
+      prev_senders = None;
+      decision = None;
+      early = false;
+    }
+  in
+  let phase_a s _rng = (s, { has_zero = s.has_zero; has_one = s.has_one }) in
+  let decide s ~has_zero ~has_one =
+    match (has_zero, has_one) with
+    | true, false -> 0
+    | false, true -> 1
+    | true, true -> s.default
+    | false, false -> assert false
+  in
+  let phase_b s ~round:_ ~received =
+    let has_zero = ref s.has_zero and has_one = ref s.has_one in
+    let senders = ref IntSet.empty in
+    Array.iter
+      (fun (src, (m : msg)) ->
+        senders := IntSet.add src !senders;
+        if m.has_zero then has_zero := true;
+        if m.has_one then has_one := true)
+      received;
+    let rounds_done = s.rounds_done + 1 in
+    let clean =
+      match s.prev_senders with
+      | Some prev -> IntSet.equal prev !senders
+      | None -> false
+    in
+    let decision, early =
+      if s.decision <> None then (s.decision, s.early)
+      else if clean then (Some (decide s ~has_zero:!has_zero ~has_one:!has_one), true)
+      else if rounds_done >= s.rounds_total then
+        (Some (decide s ~has_zero:!has_zero ~has_one:!has_one), false)
+      else (None, false)
+    in
+    {
+      s with
+      has_zero = !has_zero;
+      has_one = !has_one;
+      rounds_done;
+      prev_senders = Some !senders;
+      decision;
+      early;
+    }
+  in
+  {
+    Sim.Protocol.name = Printf.sprintf "early-floodset[r=%d]" rounds;
+    init;
+    phase_a;
+    phase_b;
+    decision = (fun s -> s.decision);
+    halted = (fun s -> Option.is_some s.decision);
+  }

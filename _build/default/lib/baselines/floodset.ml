@@ -1,0 +1,56 @@
+type msg = { has_zero : bool; has_one : bool }
+
+type state = {
+  rounds_total : int;
+  default : int;
+  has_zero : bool;
+  has_one : bool;
+  rounds_done : int;
+  decision : int option;
+}
+
+let word s = (s.has_zero, s.has_one)
+
+let protocol ~rounds ?(default = 0) () =
+  if rounds < 1 then invalid_arg "Floodset.protocol: rounds must be >= 1";
+  if default <> 0 && default <> 1 then invalid_arg "Floodset.protocol: default";
+  let init ~n:_ ~pid:_ ~input =
+    {
+      rounds_total = rounds;
+      default;
+      has_zero = input = 0;
+      has_one = input = 1;
+      rounds_done = 0;
+      decision = None;
+    }
+  in
+  let phase_a s _rng = (s, { has_zero = s.has_zero; has_one = s.has_one }) in
+  let phase_b s ~round:_ ~received =
+    let has_zero = ref s.has_zero and has_one = ref s.has_one in
+    Array.iter
+      (fun (_, (m : msg)) ->
+        if m.has_zero then has_zero := true;
+        if m.has_one then has_one := true)
+      received;
+    let rounds_done = s.rounds_done + 1 in
+    let decision =
+      if rounds_done < s.rounds_total then None
+      else
+        match (!has_zero, !has_one) with
+        | true, false -> Some 0
+        | false, true -> Some 1
+        | true, true -> Some s.default
+        | false, false ->
+            (* Unreachable: a process always sees its own input. *)
+            assert false
+    in
+    { s with has_zero = !has_zero; has_one = !has_one; rounds_done; decision }
+  in
+  {
+    Sim.Protocol.name = Printf.sprintf "floodset[r=%d]" rounds;
+    init;
+    phase_a;
+    phase_b;
+    decision = (fun s -> s.decision);
+    halted = (fun s -> Option.is_some s.decision);
+  }

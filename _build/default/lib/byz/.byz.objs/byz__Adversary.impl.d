@@ -1,0 +1,1 @@
+lib/byz/adversary.ml: Array Fun List Printf Prng Stdlib

@@ -1,0 +1,1 @@
+lib/byz/adversary.mli: Prng

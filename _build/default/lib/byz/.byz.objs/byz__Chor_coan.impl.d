@@ -1,0 +1,1 @@
+lib/byz/chor_coan.ml: Adversary Array Fun List Printf Prng Protocol

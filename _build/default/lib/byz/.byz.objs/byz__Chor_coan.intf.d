@@ -1,0 +1,1 @@
+lib/byz/chor_coan.mli: Adversary Protocol

@@ -1,0 +1,1 @@
+lib/byz/eig.ml: Adversary Array Fun Hashtbl List Option Printf Protocol Stdlib

@@ -1,0 +1,1 @@
+lib/byz/eig.mli: Adversary Protocol

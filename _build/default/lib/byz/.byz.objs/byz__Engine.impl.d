@@ -1,0 +1,1 @@
+lib/byz/engine.ml: Adversary Array Fun List Printf Prng Protocol Stats

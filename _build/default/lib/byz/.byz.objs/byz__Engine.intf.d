@@ -1,0 +1,1 @@
+lib/byz/engine.mli: Adversary Prng Protocol Stats

@@ -1,0 +1,1 @@
+lib/byz/phase_king.ml: Adversary Array Option Printf Protocol

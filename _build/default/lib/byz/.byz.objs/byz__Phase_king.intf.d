@@ -1,0 +1,1 @@
+lib/byz/phase_king.mli: Adversary Protocol

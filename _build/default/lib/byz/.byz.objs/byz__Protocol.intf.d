@@ -1,0 +1,1 @@
+lib/byz/protocol.mli: Prng

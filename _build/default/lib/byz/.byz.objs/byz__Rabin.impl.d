@@ -1,0 +1,1 @@
+lib/byz/rabin.ml: Array Int64 Printf Prng Protocol

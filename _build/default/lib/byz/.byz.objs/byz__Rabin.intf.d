@@ -1,0 +1,1 @@
+lib/byz/rabin.mli: Protocol

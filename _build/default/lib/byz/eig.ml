@@ -1,0 +1,120 @@
+type msg = (int list * int) list
+(** Level snapshot: (label, claimed value) pairs. *)
+
+type state = {
+  n : int;
+  t : int;
+  pid : int;
+  input : int;
+  tree : (int list, int) Hashtbl.t;
+  rounds_done : int;
+  decision : int option;
+}
+
+let tree_size s = Hashtbl.length s.tree
+
+let protocol ~t =
+  let init ~n ~pid ~input =
+    if t < 0 then invalid_arg "Eig.protocol: negative t";
+    if n <= 3 * t then invalid_arg "Eig.protocol: needs n > 3t";
+    { n; t; pid; input; tree = Hashtbl.create 64; rounds_done = 0; decision = None }
+  in
+  let phase_a s _rng =
+    let level = s.rounds_done in
+    let payload =
+      if level = 0 then [ ([], s.input) ]
+      else
+        Hashtbl.fold
+          (fun label v acc -> if List.length label = level then (label, v) :: acc else acc)
+          s.tree []
+    in
+    (s, payload)
+  in
+  let phase_b s ~round:_ ~received =
+    let level = s.rounds_done in
+    (* Install level+1 nodes: src's relay of each level-[level] label. *)
+    Array.iter
+      (fun (src, pairs) ->
+        List.iter
+          (fun (label, v) ->
+            if
+              List.length label = level
+              && (not (List.mem src label))
+              && List.length label <= s.t
+              && (v = 0 || v = 1)
+            then begin
+              let extended = label @ [ src ] in
+              if not (Hashtbl.mem s.tree extended) then
+                Hashtbl.replace s.tree extended v
+            end)
+          pairs)
+      received;
+    let rounds_done = s.rounds_done + 1 in
+    let decision =
+      if rounds_done < s.t + 1 then None
+      else begin
+        (* Bottom-up strict-majority resolution; absent nodes and ties
+           default to 0. *)
+        let rec resolve label =
+          if List.length label = s.t + 1 then
+            Option.value (Hashtbl.find_opt s.tree label) ~default:0
+          else begin
+            let ones = ref 0 and zeros = ref 0 in
+            for q = 0 to s.n - 1 do
+              if not (List.mem q label) then
+                if resolve (label @ [ q ]) = 1 then incr ones else incr zeros
+            done;
+            if !ones > !zeros then 1 else 0
+          end
+        in
+        Some (resolve [])
+      end
+    in
+    { s with rounds_done; decision }
+  in
+  {
+    Protocol.name = Printf.sprintf "eig[t=%d]" t;
+    init;
+    phase_a;
+    phase_b;
+    decision = (fun s -> s.decision);
+    halted = (fun s -> Option.is_some s.decision);
+  }
+
+let liar ?(budget_fraction = 1.0) () =
+  if budget_fraction < 0.0 || budget_fraction > 1.0 then
+    invalid_arg "Eig.liar";
+  {
+    Adversary.name = Printf.sprintf "eig-liar[%.2f]" budget_fraction;
+    act =
+      (fun view _rng ->
+        let new_corruptions =
+          if view.Adversary.round = 1 then begin
+            let used =
+              Array.fold_left
+                (fun acc c -> if c then acc + 1 else acc)
+                0 view.Adversary.corrupted
+            in
+            let want =
+              Stdlib.min
+                (int_of_float (budget_fraction *. float_of_int view.Adversary.t))
+                (view.Adversary.t - used)
+            in
+            List.init view.Adversary.n Fun.id
+            |> List.filter (fun i -> not view.Adversary.corrupted.(i))
+            |> List.filteri (fun i _ -> i < want)
+          end
+          else []
+        in
+        {
+          Adversary.new_corruptions;
+          behaviour =
+            (fun ~src ~dst ->
+              if dst land 1 = 0 then Adversary.Honest
+              else
+                Adversary.Forge
+                  (List.map
+                     (fun (label, v) -> (label, 1 - v))
+                     view.Adversary.pending.(src)));
+        });
+  }

@@ -1,0 +1,242 @@
+exception Budget_exceeded of string
+exception Invalid_corruption of string
+exception Decision_changed of string
+
+type outcome = {
+  rounds_executed : int;
+  rounds_to_decide : int option;
+  decisions : int option array;
+  corrupted : bool array;
+  corruptions_used : int;
+  quiescent : bool;
+  trace_ones : int list;
+}
+
+let run ?(max_rounds = 10_000) ?observer protocol adversary ~inputs ~t ~rng =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Byz.Engine.run: no processes";
+  if t < 0 || t > n then invalid_arg "Byz.Engine.run: bad budget";
+  Array.iter
+    (fun b -> if b <> 0 && b <> 1 then invalid_arg "Byz.Engine.run: inputs must be bits")
+    inputs;
+  let states =
+    Array.mapi (fun pid input -> protocol.Protocol.init ~n ~pid ~input) inputs
+  in
+  let corrupted = Array.make n false in
+  let halted = Array.make n false in
+  let decisions = Array.make n None in
+  let decision_round = Array.make n (-1) in
+  let proc_rngs = Prng.Rng.split_n rng n in
+  let adv_rng = Prng.Rng.split rng in
+  let corruptions = ref 0 in
+  let round = ref 0 in
+  let trace_ones = ref [] in
+  let active pid = (not corrupted.(pid)) && not halted.(pid) in
+  let continue = ref true in
+  while !continue && !round < max_rounds do
+    if not (Array.exists (fun pid -> pid) (Array.init n active)) then
+      continue := false
+    else begin
+      incr round;
+      let r = !round in
+      (* Phase A: everyone stages a message (corrupted ones' are defaults
+         the adversary may override; halted honest processes stage nothing
+         and are represented by their last state, excluded below). *)
+      let pending = Array.make n None in
+      for pid = 0 to n - 1 do
+        if active pid then begin
+          let state', m = protocol.Protocol.phase_a states.(pid) proc_rngs.(pid) in
+          states.(pid) <- state';
+          pending.(pid) <- Some m
+        end
+        else if corrupted.(pid) then begin
+          (* Staged default for a corrupted process: its frozen state's
+             Phase A output (it no longer updates state). *)
+          let _, m = protocol.Protocol.phase_a states.(pid) proc_rngs.(pid) in
+          pending.(pid) <- Some m
+        end
+      done;
+      (match observer with
+      | None -> ()
+      | Some f ->
+          let ones = ref 0 in
+          for pid = 0 to n - 1 do
+            if active pid then
+              match pending.(pid) with
+              | Some m when f m -> incr ones
+              | Some _ | None -> ()
+          done;
+          trace_ones := !ones :: !trace_ones);
+      (* The adversary observes everything and dictates. *)
+      let pending_exposed =
+        Array.mapi
+          (fun pid m ->
+            match m with
+            | Some v -> v
+            | None ->
+                (* pid is halted and honest: expose its final message by
+                   re-running phase_a on the frozen state with a throwaway
+                   stream. This value is never delivered. *)
+                snd (protocol.Protocol.phase_a states.(pid) (Prng.Rng.create pid)))
+          pending
+      in
+      let view =
+        {
+          Adversary.round = r;
+          n;
+          t;
+          corrupted = Array.copy corrupted;
+          states = Array.copy states;
+          pending = pending_exposed;
+          decisions = Array.copy decisions;
+        }
+      in
+      let plan = adversary.Adversary.act view adv_rng in
+      List.iter
+        (fun pid ->
+          if pid < 0 || pid >= n then
+            raise (Invalid_corruption (Printf.sprintf "pid %d out of range" pid));
+          if corrupted.(pid) then
+            raise (Invalid_corruption (Printf.sprintf "pid %d already corrupted" pid));
+          if !corruptions >= t then
+            raise (Budget_exceeded (Printf.sprintf "round %d" r));
+          incr corruptions;
+          corrupted.(pid) <- true)
+        plan.Adversary.new_corruptions;
+      (* Delivery + Phase B for honest, non-halted receivers. *)
+      for dst = 0 to n - 1 do
+        if active dst then begin
+          let received = ref [] in
+          for src = n - 1 downto 0 do
+            if corrupted.(src) then begin
+              match plan.Adversary.behaviour ~src ~dst with
+              | Adversary.Silent -> ()
+              | Adversary.Honest -> (
+                  match pending.(src) with
+                  | Some m -> received := (src, m) :: !received
+                  | None -> ())
+              | Adversary.Forge m -> received := (src, m) :: !received
+            end
+            else (
+              (* Honest sender: deliver whatever it staged this round;
+                 [pending] was fixed before delivery began, so a process
+                 halting mid-loop still delivers its final broadcast. *)
+              match pending.(src) with
+              | Some m -> received := (src, m) :: !received
+              | None -> ())
+          done;
+          let state' =
+            protocol.Protocol.phase_b states.(dst) ~round:r
+              ~received:(Array.of_list !received)
+          in
+          let before = decisions.(dst) in
+          let after = protocol.Protocol.decision state' in
+          (match (before, after) with
+          | Some v, Some v' when v <> v' ->
+              raise
+                (Decision_changed
+                   (Printf.sprintf "process %d changed decision %d -> %d" dst v v'))
+          | Some v, None ->
+              raise
+                (Decision_changed
+                   (Printf.sprintf "process %d revoked decision %d" dst v))
+          | None, Some _ -> decision_round.(dst) <- r
+          | None, None | Some _, Some _ -> ());
+          decisions.(dst) <- after;
+          if protocol.Protocol.halted state' then halted.(dst) <- true;
+          states.(dst) <- state'
+        end
+      done
+    end
+  done;
+  let rounds_to_decide =
+    let worst = ref 0 and all = ref true in
+    for i = 0 to n - 1 do
+      if not corrupted.(i) then
+        if decision_round.(i) < 0 then all := false
+        else if decision_round.(i) > !worst then worst := decision_round.(i)
+    done;
+    if !all then Some !worst else None
+  in
+  {
+    rounds_executed = !round;
+    rounds_to_decide;
+    decisions = Array.copy decisions;
+    corrupted = Array.copy corrupted;
+    corruptions_used = !corruptions;
+    quiescent = not !continue;
+    trace_ones = List.rev !trace_ones;
+  }
+
+type verdict = { agreement : bool; validity : bool; termination : bool }
+
+let check ~inputs (o : outcome) =
+  let n = Array.length inputs in
+  let agreement = ref true in
+  let first = ref None in
+  for i = 0 to n - 1 do
+    if not o.corrupted.(i) then
+      match (o.decisions.(i), !first) with
+      | Some v, None -> first := Some v
+      | Some v, Some v' -> if v <> v' then agreement := false
+      | None, _ -> ()
+  done;
+  let validity = ref true in
+  let honest_inputs =
+    List.init n Fun.id
+    |> List.filter (fun i -> not o.corrupted.(i))
+    |> List.map (fun i -> inputs.(i))
+  in
+  (match honest_inputs with
+  | [] -> ()
+  | v0 :: rest when List.for_all (fun v -> v = v0) rest ->
+      for i = 0 to n - 1 do
+        if not o.corrupted.(i) then
+          match o.decisions.(i) with
+          | Some d when d <> v0 -> validity := false
+          | Some _ | None -> ()
+      done
+  | _ :: _ -> ());
+  let termination = ref true in
+  for i = 0 to n - 1 do
+    if (not o.corrupted.(i)) && o.decisions.(i) = None then termination := false
+  done;
+  { agreement = !agreement; validity = !validity; termination = !termination }
+
+let check_ok ~inputs o =
+  let v = check ~inputs o in
+  v.agreement && v.validity && v.termination
+
+type summary = {
+  trials : int;
+  rounds : Stats.Welford.t;
+  non_terminating : int;
+  agreement_errors : int;
+  validity_errors : int;
+}
+
+let run_trials ?max_rounds ~trials ~seed ~gen_inputs ~t protocol adversary =
+  if trials <= 0 then invalid_arg "Byz.Engine.run_trials";
+  let master = Prng.Rng.create seed in
+  let rounds = Stats.Welford.create () in
+  let non_terminating = ref 0 in
+  let agreement_errors = ref 0 in
+  let validity_errors = ref 0 in
+  for _ = 1 to trials do
+    let rng = Prng.Rng.split master in
+    let inputs = gen_inputs rng in
+    let o = run ?max_rounds protocol adversary ~inputs ~t ~rng in
+    (match o.rounds_to_decide with
+    | Some r -> Stats.Welford.add_int rounds r
+    | None -> incr non_terminating);
+    let v = check ~inputs o in
+    if not v.agreement then incr agreement_errors;
+    if not v.validity then incr validity_errors
+  done;
+  {
+    trials;
+    rounds;
+    non_terminating = !non_terminating;
+    agreement_errors = !agreement_errors;
+    validity_errors = !validity_errors;
+  }

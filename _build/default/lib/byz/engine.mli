@@ -1,0 +1,63 @@
+(** Synchronous execution under a Byzantine adversary.
+
+    Per round: Phase A for every process (corrupted ones too — their
+    staged message is the default the adversary may override); the
+    adversary corrupts and dictates; delivery builds each recipient's
+    (sender, message) array — honest senders always arrive, corrupted
+    senders arrive as directed; Phase B runs for honest processes only.
+    Corrupted processes' states are frozen and their decisions ignored.
+
+    Decisions of honest processes are irrevocable (enforced). *)
+
+exception Budget_exceeded of string
+exception Invalid_corruption of string
+exception Decision_changed of string
+
+type outcome = {
+  rounds_executed : int;
+  rounds_to_decide : int option;
+      (** Round by which every honest process had decided. *)
+  decisions : int option array;
+  corrupted : bool array;
+  corruptions_used : int;
+  quiescent : bool;
+  trace_ones : int list;
+      (** Per-round count of honest staged messages classified "1" by the
+          observer, newest last; [] without an observer. *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?observer:('msg -> bool) ->
+  ('state, 'msg) Protocol.t ->
+  ('state, 'msg) Adversary.t ->
+  inputs:int array ->
+  t:int ->
+  rng:Prng.Rng.t ->
+  outcome
+
+type verdict = { agreement : bool; validity : bool; termination : bool }
+
+val check : inputs:int array -> outcome -> verdict
+(** The three conditions among honest processes (validity: unanimous
+    {e honest} inputs force that decision). *)
+
+val check_ok : inputs:int array -> outcome -> bool
+
+type summary = {
+  trials : int;
+  rounds : Stats.Welford.t;
+  non_terminating : int;
+  agreement_errors : int;
+  validity_errors : int;
+}
+
+val run_trials :
+  ?max_rounds:int ->
+  trials:int ->
+  seed:int ->
+  gen_inputs:(Prng.Rng.t -> int array) ->
+  t:int ->
+  ('state, 'msg) Protocol.t ->
+  ('state, 'msg) Adversary.t ->
+  summary

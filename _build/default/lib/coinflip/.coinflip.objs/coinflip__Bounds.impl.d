@@ -1,0 +1,1 @@
+lib/coinflip/bounds.ml:

@@ -1,0 +1,1 @@
+lib/coinflip/control.ml: Array Game List Prng Stats Strategy

@@ -1,0 +1,1 @@
+lib/coinflip/control.mli: Game Stats Strategy

@@ -1,0 +1,1 @@
+lib/coinflip/game.ml: Array List Option Prng

@@ -1,0 +1,1 @@
+lib/coinflip/game.mli: Prng

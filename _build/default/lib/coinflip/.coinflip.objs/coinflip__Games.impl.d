@@ -1,0 +1,1 @@
+lib/coinflip/games.ml: Array Game Option Printf Prng

@@ -1,0 +1,1 @@
+lib/coinflip/games.mli: Game

@@ -1,0 +1,1 @@
+lib/coinflip/multiround.ml: Array Game List Option Printf Prng Stdlib Strategy

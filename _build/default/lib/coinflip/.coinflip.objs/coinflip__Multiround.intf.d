@@ -1,0 +1,1 @@
+lib/coinflip/multiround.mli: Game Prng Strategy

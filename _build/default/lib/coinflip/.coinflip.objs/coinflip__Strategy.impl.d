@@ -1,0 +1,1 @@
+lib/coinflip/strategy.ml: Array Fun Game Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/coinflip/strategy.mli: Game

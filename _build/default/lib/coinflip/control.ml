@@ -1,0 +1,81 @@
+type estimate = {
+  target : int;
+  trials : int;
+  forced : int;
+  proportion : float;
+  ci : Stats.Ci.interval;
+}
+
+let control_probability ?(trials = 1000) ~seed ~budget ~target ~strategy game =
+  if trials <= 0 then invalid_arg "Control.control_probability: trials";
+  let rng = Prng.Rng.create seed in
+  let forced = ref 0 in
+  for _ = 1 to trials do
+    let values = game.Game.sample rng in
+    let outcome = Strategy.forced_outcome game values ~strategy ~budget ~target in
+    if outcome = target then incr forced
+  done;
+  {
+    target;
+    trials;
+    forced = !forced;
+    proportion = Stats.Ci.proportion ~successes:!forced ~trials;
+    ci = Stats.Ci.wilson ~successes:!forced trials;
+  }
+
+let best_controllable_outcome ?trials ~seed ~budget ~strategy game =
+  let estimates =
+    List.init game.Game.k (fun target ->
+        control_probability ?trials ~seed:(seed + target) ~budget ~target
+          ~strategy game)
+  in
+  match estimates with
+  | [] -> invalid_arg "Control.best_controllable_outcome: game has no outcomes"
+  | first :: rest ->
+      List.fold_left
+        (fun best e -> if e.proportion > best.proportion then e else best)
+        first rest
+
+let exact_force_probability ~budget ~target game ~values_of_player =
+  let n = game.Game.n in
+  if values_of_player < 1 then invalid_arg "Control.exact_force_probability";
+  let total = ref 0 and forceable = ref 0 in
+  let values = Array.make n 0 in
+  let masked = Array.make n None in
+  (* Can some hide-set of size <= budget force [target]? DFS with the same
+     subset tree as Strategy.exhaustive, but inlined for speed. *)
+  let exists_force () =
+    for i = 0 to n - 1 do
+      masked.(i) <- Some values.(i)
+    done;
+    let found = ref false in
+    let rec search start left =
+      if !found then ()
+      else if game.Game.eval masked = target then found := true
+      else if left > 0 then
+        for i = start to n - 1 do
+          if not !found then begin
+            masked.(i) <- None;
+            search (i + 1) (left - 1);
+            masked.(i) <- Some values.(i)
+          end
+        done
+    in
+    search 0 budget;
+    !found
+  in
+  let rec enumerate pos =
+    if pos = n then begin
+      incr total;
+      if exists_force () then incr forceable
+    end
+    else
+      for v = 0 to values_of_player - 1 do
+        values.(pos) <- v;
+        enumerate (pos + 1)
+      done
+  in
+  enumerate 0;
+  float_of_int !forceable /. float_of_int !total
+
+let controls e ~n = e.proportion > 1.0 -. (1.0 /. float_of_int n)

@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  n : int;
+  k : int;
+  sample : Prng.Rng.t -> int array;
+  eval : int option array -> int;
+}
+
+let eval_with_hidden g values ~hidden =
+  let masked = Array.map Option.some values in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= g.n then invalid_arg "Game.eval_with_hidden: bad index";
+      masked.(i) <- None)
+    hidden;
+  g.eval masked
+
+let play g rng ~hidden =
+  let values = g.sample rng in
+  eval_with_hidden g values ~hidden
+
+let validate g rng =
+  if g.n <= 0 then failwith (g.name ^ ": no players");
+  if g.k < 1 then failwith (g.name ^ ": fewer than one outcome");
+  for _ = 1 to 16 do
+    let values = g.sample rng in
+    if Array.length values <> g.n then
+      failwith (g.name ^ ": sample has wrong length");
+    let hide_count = Prng.Rng.int rng (g.n + 1) in
+    let hidden = Array.to_list (Prng.Sample.choose_k rng g.n hide_count) in
+    let v = eval_with_hidden g values ~hidden in
+    if v < 0 || v >= g.k then failwith (g.name ^ ": outcome out of range")
+  done

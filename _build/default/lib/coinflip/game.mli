@@ -1,0 +1,28 @@
+(** One-round collective coin-flipping games (Section 2).
+
+    A game has [n] players, each drawing a private value from its own
+    distribution, and a function [f] mapping the value vector — with up to
+    [t] entries replaced by the default "-" (here [None]) — to one of [k]
+    outcomes. The adaptive fail-stop adversary sees all drawn values before
+    choosing which to hide. *)
+
+type t = {
+  name : string;
+  n : int;
+  k : int;  (** Number of possible outcomes; outcomes are [0 .. k-1]. *)
+  sample : Prng.Rng.t -> int array;
+      (** Draw the [n] players' independent input values. *)
+  eval : int option array -> int;
+      (** The game function [f]; [None] is the adversary's default value.
+          Must return an outcome in [0 .. k-1] for every input. *)
+}
+
+val play : t -> Prng.Rng.t -> hidden:int list -> int
+(** Sample inputs, hide the listed players, evaluate. *)
+
+val eval_with_hidden : t -> int array -> hidden:int list -> int
+(** Evaluate [f] on concrete values with the listed players hidden. *)
+
+val validate : t -> Prng.Rng.t -> unit
+(** Cheap sanity check: sampled vectors have length [n] and [eval] stays in
+    range on a few random hide-sets. Raises [Failure] otherwise. *)

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Async Baselines Byz Coinflip Float Lb_adversary List Onesided Printf Prng Sim Stats Stdlib Synran Theory

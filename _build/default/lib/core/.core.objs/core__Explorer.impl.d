@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Array Float Onesided Stats

@@ -1,0 +1,1 @@
+lib/core/lb_adversary.ml: Array Baselines Float List Onesided Printf Prng Sim Stdlib

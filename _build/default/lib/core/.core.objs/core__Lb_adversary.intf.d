@@ -1,0 +1,1 @@
+lib/core/lb_adversary.mli: Onesided Prng Sim

@@ -1,0 +1,1 @@
+lib/core/onesided.ml: Prng

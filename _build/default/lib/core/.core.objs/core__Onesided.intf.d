@@ -1,0 +1,1 @@
+lib/core/onesided.mli: Prng

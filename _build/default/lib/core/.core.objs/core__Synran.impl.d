@@ -1,0 +1,1 @@
+lib/core/synran.ml: Array Float Int64 Onesided Printf Prng Sim Stdlib

@@ -1,0 +1,1 @@
+lib/core/synran.mli: Onesided Sim

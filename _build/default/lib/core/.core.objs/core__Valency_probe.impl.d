@@ -1,0 +1,1 @@
+lib/core/valency_probe.ml: Array Baselines Float Lb_adversary List Onesided Prng Sim Stdlib Synran Valency

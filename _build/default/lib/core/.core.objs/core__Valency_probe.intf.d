@@ -1,0 +1,1 @@
+lib/core/valency_probe.mli: Prng Sim Synran Valency

@@ -1,0 +1,57 @@
+type action = Decide of int | Propose of int | Flip
+
+type rules = {
+  label : string;
+  zero_rule : bool;
+  decide_hi : int;
+  propose_hi : int;
+  decide_lo : int;
+  propose_lo : int;
+}
+
+let paper =
+  {
+    label = "paper";
+    zero_rule = true;
+    decide_hi = 7;
+    propose_hi = 6;
+    decide_lo = 4;
+    propose_lo = 5;
+  }
+
+let no_zero_rule = { paper with label = "no-zero-rule"; zero_rule = false }
+
+let symmetric =
+  {
+    label = "symmetric";
+    zero_rule = false;
+    decide_hi = 7;
+    propose_hi = 6;
+    decide_lo = 3;
+    propose_lo = 4;
+  }
+
+let validate r =
+  if
+    not
+      (0 <= r.decide_lo
+      && r.decide_lo < r.propose_lo
+      && r.propose_lo <= r.propose_hi
+      && r.propose_hi < r.decide_hi
+      && r.decide_hi <= 10)
+  then invalid_arg ("Onesided.validate: bad threshold ordering in " ^ r.label)
+
+let classify r ~ones ~zeros ~n_prev =
+  if ones < 0 || zeros < 0 || n_prev < 0 then invalid_arg "Onesided.classify";
+  if 10 * ones > r.decide_hi * n_prev then Decide 1
+  else if 10 * ones > r.propose_hi * n_prev then Propose 1
+  else if r.zero_rule && zeros = 0 then Propose 1
+  else if 10 * ones < r.decide_lo * n_prev then Decide 0
+  else if 10 * ones < r.propose_lo * n_prev then Propose 0
+  else Flip
+
+let apply r ~ones ~zeros ~n_prev rng =
+  match classify r ~ones ~zeros ~n_prev with
+  | Decide v -> (v, true)
+  | Propose v -> (v, false)
+  | Flip -> (Prng.Rng.bit rng, false)

@@ -1,0 +1,214 @@
+type stage = Probabilistic | Switching | Deterministic of { left : int }
+
+type coin = Local_flip | Leader_priority | Shared_oracle of int
+
+type msg = { bit : int; prio : int; det : (bool * bool) option }
+
+type state = {
+  rules : Onesided.rules;
+  coin_mode : coin;
+
+  threshold : float;
+  det_rounds : int;
+  b : int;
+  coin : int;
+  decided_flag : bool;
+  output : int option;
+  halted : bool;
+  stage : stage;
+  (* Value set W for the deterministic stage. *)
+  has_zero : bool;
+  has_one : bool;
+  (* Receive-count history: N^(r-1), N^(r-2), N^(r-3), seeded with n
+     (the paper's N^-1 = N^0 = n convention). *)
+  n1 : int;
+  n2 : int;
+  n3 : int;
+}
+
+let switch_threshold ~n =
+  if n < 1 then invalid_arg "Synran.switch_threshold";
+  if n = 1 then 1.0 else sqrt (float_of_int n /. log (float_of_int n))
+
+let det_stage_rounds ~n =
+  Stdlib.max 1 (int_of_float (Float.ceil (switch_threshold ~n)))
+
+let bit_of_msg m = m.bit
+
+let prio_of_msg m = m.prio
+
+let msg_is_one m = m.bit = 1
+
+let stage_name s =
+  match s.stage with
+  | Probabilistic -> "probabilistic"
+  | Switching -> "switching"
+  | Deterministic _ -> "deterministic"
+
+let current_b s = s.b
+
+let decided_flag s = s.decided_flag
+
+let tally received =
+  let ones = ref 0 in
+  Array.iter (fun (_, m) -> if m.bit = 1 then incr ones) received;
+  let n = Array.length received in
+  (!ones, n - !ones, n)
+
+(* The leader coin: the bit of the highest-(priority, pid) message received
+   this round — a "dictator" one-round game (Section 2), trivially
+   controllable by an adaptive adversary but unbiasable by an oblivious
+   one. Received arrays are never empty (own message always arrives). *)
+let leader_bit received =
+  let best = ref None in
+  Array.iter
+    (fun (pid, m) ->
+      match !best with
+      | None -> best := Some (m.prio, pid, m.bit)
+      | Some (bp, bpid, _) ->
+          if (m.prio, pid) > (bp, bpid) then best := Some (m.prio, pid, m.bit))
+    received;
+  match !best with Some (_, _, bit) -> bit | None -> assert false
+
+let merge_values s received =
+  let has_zero = ref s.has_zero and has_one = ref s.has_one in
+  Array.iter
+    (fun (_, m) ->
+      (if m.bit = 0 then has_zero := true else has_one := true);
+      match m.det with
+      | None -> ()
+      | Some (z, o) ->
+          if z then has_zero := true;
+          if o then has_one := true)
+    received;
+  (!has_zero, !has_one)
+
+(* End of the deterministic stage: the surviving-value rule of Lemma 4.3 —
+   the unique value if one survived, otherwise the default 0. *)
+let det_decision ~has_zero ~has_one =
+  match (has_zero, has_one) with
+  | false, true -> 1
+  | true, false | true, true -> 0
+  | false, false -> assert false (* own value is always in W *)
+
+(* The shared-oracle coin of the weakened-adversary models ([Rab83]-style
+   trusted dealer): all processes derive the same round-r bit from a seed
+   the adversary is assumed unable to read. This models the paper's remark
+   that O(1)-round protocols exist under "reasonable bounds on the power of
+   the adversary" — here, denying it the coin before the kills. *)
+let oracle_bit ~seed ~round =
+  Int64.to_int
+    (Prng.Splitmix64.mix (Int64.of_int ((seed * 1_000_003) + round)))
+  land 1
+
+let step_probabilistic s ~round ~received =
+  let ones, zeros, nrecv = tally received in
+  let flip_value () =
+    match s.coin_mode with
+    | Local_flip -> s.coin
+    | Leader_priority -> leader_bit received
+    | Shared_oracle seed -> oracle_bit ~seed ~round
+  in
+  if float_of_int nrecv < s.threshold then
+    (* Too few survivors: freeze b, run the one-round delay, then flood. *)
+    { s with stage = Switching; n1 = nrecv; n2 = s.n1; n3 = s.n2 }
+  else if s.decided_flag && 10 * (s.n3 - nrecv) <= s.n2 then
+    (* Stable population for three rounds: stop, outputting b. *)
+    { s with output = Some s.b; halted = true; n1 = nrecv; n2 = s.n1; n3 = s.n2 }
+  else begin
+    let b, decided_flag =
+      match Onesided.classify s.rules ~ones ~zeros ~n_prev:s.n1 with
+      | Onesided.Decide v -> (v, true)
+      | Onesided.Propose v -> (v, false)
+      | Onesided.Flip -> (flip_value (), false)
+    in
+    {
+      s with
+      b;
+      decided_flag;
+      has_zero = b = 0;
+      has_one = b = 1;
+      n1 = nrecv;
+      n2 = s.n1;
+      n3 = s.n2;
+    }
+  end
+
+let step_switching s ~received =
+  let has_zero, has_one = merge_values s received in
+  { s with stage = Deterministic { left = s.det_rounds }; has_zero; has_one }
+
+let step_deterministic s ~left ~received =
+  let has_zero, has_one = merge_values s received in
+  let left = left - 1 in
+  if left = 0 then
+    let v = det_decision ~has_zero ~has_one in
+    {
+      s with
+      stage = Deterministic { left };
+      has_zero;
+      has_one;
+      b = v;
+      output = Some v;
+      halted = true;
+    }
+  else { s with stage = Deterministic { left }; has_zero; has_one }
+
+let protocol ?(rules = Onesided.paper) ?(coin = Local_flip) n =
+  Onesided.validate rules;
+  if n < 1 then invalid_arg "Synran.protocol";
+  let threshold = switch_threshold ~n in
+  let det_rounds = det_stage_rounds ~n in
+  let init ~n:n' ~pid:_ ~input =
+    if n' <> n then invalid_arg "Synran.protocol: built for a different n";
+    {
+      rules;
+      coin_mode = coin;
+      threshold;
+      det_rounds;
+      b = input;
+      coin = 0;
+      decided_flag = false;
+      output = None;
+      halted = false;
+      stage = Probabilistic;
+      has_zero = input = 0;
+      has_one = input = 1;
+      n1 = n;
+      n2 = n;
+      n3 = n;
+    }
+  in
+  let phase_a s rng =
+    (* Pre-draw this round's potential flip and this round's leader
+       priority: the adversary legitimately sees every coin before choosing
+       kills (full-information model). *)
+    let s = { s with coin = Prng.Rng.bit rng } in
+    let prio = Prng.Rng.int rng 1_000_000_000 in
+    let det =
+      match s.stage with
+      | Deterministic _ -> Some (s.has_zero, s.has_one)
+      | Probabilistic | Switching -> None
+    in
+    (s, { bit = s.b; prio; det })
+  in
+  let phase_b s ~round ~received =
+    match s.stage with
+    | Probabilistic -> step_probabilistic s ~round ~received
+    | Switching -> step_switching s ~received
+    | Deterministic { left } -> step_deterministic s ~left ~received
+  in
+  {
+    Sim.Protocol.name =
+      Printf.sprintf "synran[%s%s,n=%d]" rules.Onesided.label
+        (match coin with
+        | Local_flip -> ""
+        | Leader_priority -> ",leader"
+        | Shared_oracle _ -> ",oracle")
+        n;
+    init;
+    phase_a;
+    phase_b;
+    decision = (fun s -> s.output);
+    halted = (fun s -> s.halted);
+  }

@@ -1,0 +1,30 @@
+let ln n = log (float_of_int n)
+
+let lower_bound_rounds ~n ~t =
+  if n < 2 then 0.0
+  else float_of_int t /. ((4.0 *. sqrt (float_of_int n *. ln n)) +. 1.0)
+
+let lower_bound_success_prob ~n =
+  if n <= 2 then 0.0 else 1.0 -. (1.0 /. sqrt (ln n))
+
+let tight_bound_shape ~n ~t =
+  if n < 1 then invalid_arg "Theory.tight_bound_shape";
+  let fn = float_of_int n in
+  let ft = float_of_int t in
+  ft /. sqrt (fn *. log (2.0 +. (ft /. sqrt fn)))
+
+let upper_bound_large_t_shape ~n =
+  if n < 2 then 1.0 else sqrt (float_of_int n /. ln n)
+
+let deterministic_rounds ~t = t + 1
+
+let per_round_kills ~n =
+  if n < 2 then 1.0 else (4.0 *. sqrt (float_of_int n *. ln n)) +. 1.0
+
+let crossover_t ~n =
+  let rec search t =
+    if t >= n then n
+    else if tight_bound_shape ~n ~t < float_of_int (t + 1) then t
+    else search (t + 1)
+  in
+  search 1

@@ -1,0 +1,30 @@
+type classification = Bivalent | Zero_valent | One_valent | Null_valent
+
+let to_string = function
+  | Bivalent -> "bivalent"
+  | Zero_valent -> "0-valent"
+  | One_valent -> "1-valent"
+  | Null_valent -> "null-valent"
+
+let epsilon ~n ~k =
+  if n < 1 || k < 0 then invalid_arg "Valency.epsilon";
+  (1.0 /. sqrt (float_of_int n)) -. (float_of_int k /. float_of_int n)
+
+let classify ~n ~k ~min_r ~max_r =
+  if min_r > max_r then invalid_arg "Valency.classify: min_r > max_r";
+  let eps = epsilon ~n ~k in
+  let low = min_r < eps in
+  let high = max_r > 1.0 -. eps in
+  match (low, high) with
+  | true, true -> Bivalent
+  | true, false -> Zero_valent
+  | false, true -> One_valent
+  | false, false -> Null_valent
+
+let is_univalent = function
+  | Zero_valent | One_valent -> true
+  | Bivalent | Null_valent -> false
+
+let keeps_running = function
+  | Bivalent | Null_valent -> true
+  | Zero_valent | One_valent -> false

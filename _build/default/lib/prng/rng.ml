@@ -1,0 +1,44 @@
+type t = Xoshiro256.t
+
+let of_int64 seed = Xoshiro256.of_seed seed
+
+let create seed = of_int64 (Int64.of_int seed)
+
+let bits64 = Xoshiro256.next
+
+let split g = Xoshiro256.of_seed (Splitmix64.mix (Xoshiro256.next g))
+
+let split_n g k = Array.init k (fun _ -> split g)
+
+let copy = Xoshiro256.copy
+
+let bool g = Int64.compare (Xoshiro256.next g) 0L < 0
+
+let bit g = if bool g then 1 else 0
+
+(* Uniform int in [0, bound) by rejection from the top 62 bits, so every
+   value is equally likely (no modulo bias). *)
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask_bits x =
+    (* Smallest all-ones mask covering [x]. *)
+    let rec widen m = if m >= x then m else widen ((m lsl 1) lor 1) in
+    widen 1
+  in
+  let mask = mask_bits (bound - 1) in
+  let rec draw () =
+    let v = Int64.to_int (Xoshiro256.next g) land mask in
+    if v < bound then v else draw ()
+  in
+  if bound = 1 then 0 else draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g =
+  (* Top 53 bits, scaled to [0, 1). *)
+  let v = Int64.shift_right_logical (Xoshiro256.next g) 11 in
+  Int64.to_float v *. 0x1p-53
+
+let bernoulli g p = if p >= 1.0 then true else if p <= 0.0 then false else float g < p

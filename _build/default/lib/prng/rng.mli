@@ -1,0 +1,48 @@
+(** The random-source abstraction used throughout the reproduction.
+
+    Every stochastic component (process coins, adversary randomness,
+    workload generation) draws from its own [Rng.t], split deterministically
+    from a master seed, so that any experiment can be replayed bit-for-bit
+    from a single integer. *)
+
+type t
+(** A mutable pseudorandom stream (Xoshiro256** underneath). *)
+
+val create : int -> t
+(** [create seed] builds a stream from an integer seed. *)
+
+val of_int64 : int64 -> t
+(** [of_int64 seed] builds a stream from a 64-bit seed. *)
+
+val split : t -> t
+(** [split g] derives a fresh stream whose future output is statistically
+    independent of [g]'s. Advances [g]. *)
+
+val split_n : t -> int -> t array
+(** [split_n g k] derives [k] independent streams. Advances [g]. *)
+
+val copy : t -> t
+(** [copy g] replays [g]'s future exactly (no independence!). Use [split]
+    when independence is wanted. *)
+
+val bits64 : t -> int64
+(** 64 fresh pseudorandom bits. *)
+
+val bool : t -> bool
+(** An unbiased coin flip. *)
+
+val bit : t -> int
+(** An unbiased bit in {0, 1}. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform on [0, bound); [bound] must be positive.
+    Uses rejection sampling, so there is no modulo bias. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform on the inclusive range [lo, hi]. *)
+
+val float : t -> float
+(** Uniform on [0, 1) with 53 bits of precision. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is true with probability [p] (clamped to [0, 1]). *)

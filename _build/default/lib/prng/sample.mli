@@ -1,0 +1,33 @@
+(** Sampling routines built on {!Rng}: permutations, subsets, and the
+    discrete distributions the experiments need. *)
+
+val shuffle : Rng.t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : Rng.t -> int -> int array
+(** [permutation g n] is a uniform random permutation of [0..n-1]. *)
+
+val choose_k : Rng.t -> int -> int -> int array
+(** [choose_k g n k] is a uniform random k-subset of [0..n-1], in arbitrary
+    order, without replacement. Raises [Invalid_argument] if [k > n] or
+    [k < 0]. *)
+
+val binomial : Rng.t -> int -> float -> int
+(** [binomial g n p] draws from Binomial(n, p). Exact (per-trial) for the
+    problem sizes used here. *)
+
+val geometric : Rng.t -> float -> int
+(** [geometric g p] is the number of failures before the first success of a
+    Bernoulli(p) sequence; [p] must be in (0, 1]. *)
+
+val exponential : Rng.t -> float -> float
+(** [exponential g lambda] draws from Exp(lambda); [lambda] must be
+    positive. *)
+
+val categorical : Rng.t -> float array -> int
+(** [categorical g w] draws index [i] with probability proportional to
+    [w.(i)]. Weights must be non-negative with a positive sum. *)
+
+val random_bits : Rng.t -> int -> int array
+(** [random_bits g n] is an array of [n] unbiased bits — a random consensus
+    input vector. *)

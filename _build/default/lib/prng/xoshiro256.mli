@@ -1,0 +1,28 @@
+(** Xoshiro256**: the workhorse generator for all simulations.
+
+    256 bits of state, period 2^256 - 1, excellent statistical quality
+    (passes BigCrush), and cheap copying — which the simulator exploits to
+    fork execution states for Monte-Carlo lookahead.
+    Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+    generators" (ACM TOMS 2021). *)
+
+type t
+(** Mutable generator state. *)
+
+val of_seed : int64 -> t
+(** [of_seed s] expands the 64-bit seed into a full 256-bit state via
+    SplitMix64, as recommended by the authors. *)
+
+val of_state : int64 -> int64 -> int64 -> int64 -> t
+(** [of_state s0 s1 s2 s3] uses the given words directly. At least one word
+    must be non-zero; raises [Invalid_argument] otherwise. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay [g]'s future. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 fresh pseudorandom bits. *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by 2^128 steps, yielding a stream that will not
+    overlap the original for any realistic use. *)

@@ -1,0 +1,1 @@
+lib/sim/checker.ml: Array Engine List Printf String

@@ -1,0 +1,1 @@
+lib/sim/checker.mli: Engine

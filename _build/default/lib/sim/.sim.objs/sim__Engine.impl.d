@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Hashtbl List Option Printf Prng Protocol Trace

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Checker Engine List Printf Prng Stats

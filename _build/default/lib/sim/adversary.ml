@@ -1,0 +1,36 @@
+type kill = { victim : int; deliver_to : int list }
+
+let kill_silent victim = { victim; deliver_to = [] }
+
+let kill_after_send victim ~recipients = { victim; deliver_to = recipients }
+
+type ('state, 'msg) view = {
+  round : int;
+  n : int;
+  t : int;
+  budget_left : int;
+  alive : bool array;
+  active : bool array;
+  states : 'state array;
+  pending : 'msg option array;
+  decisions : int option array;
+}
+
+let alive_count v =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v.alive
+
+let active_pids v =
+  let acc = ref [] in
+  for i = Array.length v.active - 1 downto 0 do
+    if v.active.(i) then acc := i :: !acc
+  done;
+  !acc
+
+type ('state, 'msg) t = {
+  name : string;
+  plan : ('state, 'msg) view -> Prng.Rng.t -> kill list;
+}
+
+let null = { name = "null"; plan = (fun _ _ -> []) }
+
+let map_name f a = { a with name = f a.name }

@@ -1,0 +1,54 @@
+(** The adversary interface: the fail-stop, adaptive, full-information,
+    computationally unbounded adversary of Section 3.1.
+
+    After every Phase A the adversary observes {e everything} — all local
+    states (including this round's coin flips) and all pending messages —
+    and picks a set of processes to fail during the message-exchange phase.
+    For each victim it also chooses which recipients still receive the
+    victim's final message (partial send). A victim is dead from the next
+    round on and sends nothing further. *)
+
+type kill = {
+  victim : int;
+  deliver_to : int list;
+      (** Recipients that still receive the victim's message this round.
+          [[]] means the victim is silenced entirely. The victim itself
+          always "hears" its own value (it is dead anyway). *)
+}
+
+val kill_silent : int -> kill
+(** Fail the process and drop its entire broadcast. *)
+
+val kill_after_send : int -> recipients:int list -> kill
+(** Fail the process but let the listed recipients receive its message. *)
+
+type ('state, 'msg) view = {
+  round : int;
+  n : int;
+  t : int;  (** The adversary's total corruption budget. *)
+  budget_left : int;  (** Kills still available. *)
+  alive : bool array;  (** Not yet failed. *)
+  active : bool array;  (** Alive and not halted: broadcasting this round. *)
+  states : 'state array;
+      (** Post-Phase-A states. Entries for inactive processes are stale. *)
+  pending : 'msg option array;
+      (** The message each active process is about to broadcast. *)
+  decisions : int option array;
+}
+
+val alive_count : ('state, 'msg) view -> int
+
+val active_pids : ('state, 'msg) view -> int list
+
+type ('state, 'msg) t = {
+  name : string;
+  plan : ('state, 'msg) view -> Prng.Rng.t -> kill list;
+      (** Must name distinct, currently active victims, at most
+          [budget_left] of them; the engine validates and raises
+          otherwise. *)
+}
+
+val null : ('state, 'msg) t
+(** The adversary that never fails anyone. *)
+
+val map_name : (string -> string) -> ('state, 'msg) t -> ('state, 'msg) t

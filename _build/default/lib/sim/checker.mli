@@ -1,0 +1,25 @@
+(** Consensus correctness checking (Section 3.1's three conditions).
+
+    Every randomized test and every experiment trial runs its outcome
+    through this checker, so safety violations cannot hide behind good
+    averages. *)
+
+type verdict = {
+  agreement : bool;
+      (** All non-faulty deciders decided the same value. With [~strict]
+          (default), decisions of processes that decided and were killed
+          later must agree too — a decision is an output the moment it is
+          made. *)
+  validity : bool;
+      (** If all inputs were [v], every decision is [v]. *)
+  termination : bool;
+      (** Every non-faulty process decided within the executed rounds. *)
+  errors : string list;  (** Human-readable description of each violation. *)
+}
+
+val ok : verdict -> bool
+
+val check : ?strict:bool -> inputs:int array -> Engine.outcome -> verdict
+
+val assert_ok : ?strict:bool -> inputs:int array -> Engine.outcome -> unit
+(** Raises [Failure] with the collected errors on any violation. *)

@@ -1,0 +1,302 @@
+exception Budget_exceeded of string
+exception Invalid_kill of string
+exception Decision_changed of string
+
+type ('state, 'msg) exec = {
+  protocol : ('state, 'msg) Protocol.t;
+  n : int;
+  t : int;
+  states : 'state array;
+  alive : bool array;
+  halted : bool array;
+  decisions : int option array;
+  decision_round : int array;  (* -1 = undecided *)
+  proc_rngs : Prng.Rng.t array;
+  mutable adv_rng : Prng.Rng.t;
+  mutable round : int;
+  mutable kills_used : int;
+  trace : Trace.t option;
+  observer : ('msg -> bool) option;
+}
+
+type outcome = {
+  rounds_executed : int;
+  rounds_to_decide : int option;
+  decisions : int option array;
+  faulty : bool array;
+  halted : bool array;
+  kills_used : int;
+  quiescent : bool;
+  trace : Trace.t option;
+}
+
+let start ?(record_trace = false) ?observer protocol ~inputs ~t ~rng =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Engine.start: no processes";
+  if t < 0 || t > n then invalid_arg "Engine.start: budget out of [0, n]";
+  Array.iter
+    (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.start: inputs must be bits")
+    inputs;
+  {
+    protocol;
+    n;
+    t;
+    states = Array.mapi (fun pid input -> protocol.Protocol.init ~n ~pid ~input) inputs;
+    alive = Array.make n true;
+    halted = Array.make n false;
+    decisions = Array.make n None;
+    decision_round = Array.make n (-1);
+    proc_rngs = Prng.Rng.split_n rng n;
+    adv_rng = Prng.Rng.split rng;
+    round = 0;
+    kills_used = 0;
+    trace = (if record_trace then Some (Trace.create ~n) else None);
+    observer;
+  }
+
+let active_at e i = e.alive.(i) && not e.halted.(i)
+
+let active_count e =
+  let c = ref 0 in
+  for i = 0 to e.n - 1 do
+    if active_at e i then incr c
+  done;
+  !c
+
+let alive_count e =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 e.alive
+
+let budget_left e = e.t - e.kills_used
+
+let validate_kills e kills =
+  let seen = Array.make e.n false in
+  List.iter
+    (fun { Adversary.victim; deliver_to } ->
+      if victim < 0 || victim >= e.n then
+        raise (Invalid_kill (Printf.sprintf "victim %d out of range" victim));
+      if not (active_at e victim) then
+        raise (Invalid_kill (Printf.sprintf "victim %d is not active" victim));
+      if seen.(victim) then
+        raise (Invalid_kill (Printf.sprintf "victim %d named twice" victim));
+      seen.(victim) <- true;
+      List.iter
+        (fun r ->
+          if r < 0 || r >= e.n then
+            raise (Invalid_kill (Printf.sprintf "recipient %d out of range" r)))
+        deliver_to)
+    kills;
+  let count = List.length kills in
+  if count > budget_left e then
+    raise
+      (Budget_exceeded
+         (Printf.sprintf "round %d: %d kills requested, %d left" (e.round + 1)
+            count (budget_left e)))
+
+let step e adversary =
+  if active_count e = 0 then `Quiescent
+  else begin
+    let round = e.round + 1 in
+    let pending = Array.make e.n None in
+    (* Phase A: every active process computes and stages its broadcast. *)
+    for i = 0 to e.n - 1 do
+      if active_at e i then begin
+        let state', msg = e.protocol.Protocol.phase_a e.states.(i) e.proc_rngs.(i) in
+        e.states.(i) <- state';
+        pending.(i) <- Some msg
+      end
+    done;
+    (* The adversary observes everything and picks its kills. *)
+    let view =
+      {
+        Adversary.round;
+        n = e.n;
+        t = e.t;
+        budget_left = budget_left e;
+        alive = Array.copy e.alive;
+        active = Array.init e.n (active_at e);
+        states = Array.copy e.states;
+        pending = Array.copy pending;
+        decisions = Array.copy e.decisions;
+      }
+    in
+    let kills = adversary.Adversary.plan view e.adv_rng in
+    validate_kills e kills;
+    let killed = Array.make e.n false in
+    let partial = Hashtbl.create 8 in
+    List.iter
+      (fun { Adversary.victim; deliver_to } ->
+        killed.(victim) <- true;
+        if deliver_to <> [] then begin
+          let mask = Array.make e.n false in
+          List.iter (fun r -> mask.(r) <- true) deliver_to;
+          Hashtbl.replace partial victim mask
+        end)
+      kills;
+    (* Message exchange: receiver j gets sender i's message iff i was active
+       and either survived, or is j itself (own value is always counted), or
+       was killed but the adversary let the i->j message through. *)
+    let delivered = ref 0 in
+    let newly_decided = ref 0 in
+    let newly_halted = ref 0 in
+    for j = 0 to e.n - 1 do
+      if active_at e j && not killed.(j) then begin
+        let received = ref [] in
+        for i = e.n - 1 downto 0 do
+          match pending.(i) with
+          | None -> ()
+          | Some msg ->
+              let gets_it =
+                if not killed.(i) then true
+                else if i = j then true
+                else
+                  match Hashtbl.find_opt partial i with
+                  | None -> false
+                  | Some mask -> mask.(j)
+              in
+              if gets_it then begin
+                received := (i, msg) :: !received;
+                incr delivered
+              end
+        done;
+        let state' =
+          e.protocol.Protocol.phase_b e.states.(j) ~round
+            ~received:(Array.of_list !received)
+        in
+        let before = e.decisions.(j) in
+        let after = e.protocol.Protocol.decision state' in
+        (match (before, after) with
+        | Some v, Some v' when v <> v' ->
+            raise
+              (Decision_changed
+                 (Printf.sprintf "process %d changed decision %d -> %d" j v v'))
+        | Some v, None ->
+            raise
+              (Decision_changed (Printf.sprintf "process %d revoked decision %d" j v))
+        | None, Some _ ->
+            incr newly_decided;
+            e.decision_round.(j) <- round
+        | None, None | Some _, Some _ -> ());
+        e.decisions.(j) <- after;
+        if e.protocol.Protocol.halted state' && not e.halted.(j) then begin
+          if after = None then
+            raise
+              (Decision_changed
+                 (Printf.sprintf "process %d halted without deciding" j));
+          incr newly_halted;
+          e.halted.(j) <- true
+        end;
+        e.states.(j) <- state'
+      end
+    done;
+    (* Victims are dead from now on. *)
+    let kill_count = ref 0 and partial_count = ref 0 in
+    List.iter
+      (fun { Adversary.victim; deliver_to } ->
+        e.alive.(victim) <- false;
+        incr kill_count;
+        if deliver_to <> [] then incr partial_count)
+      kills;
+    e.kills_used <- e.kills_used + !kill_count;
+    e.round <- round;
+    (match e.trace with
+    | None -> ()
+    | Some tr ->
+        let ones =
+          match e.observer with
+          | None -> -1
+          | Some f ->
+              Array.fold_left
+                (fun acc m -> match m with Some m when f m -> acc + 1 | _ -> acc)
+                0 pending
+        in
+        let victims =
+          kills |> List.map (fun k -> k.Adversary.victim) |> List.sort compare
+          |> Array.of_list
+        in
+        Trace.record tr
+          {
+            Trace.round;
+            active_before =
+              Array.fold_left
+                (fun acc m -> if Option.is_some m then acc + 1 else acc)
+                0 pending;
+            killed = victims;
+            partial_sends = !partial_count;
+            messages_delivered = !delivered;
+            newly_decided = !newly_decided;
+            newly_halted = !newly_halted;
+            ones_pending = ones;
+          });
+    `Continue
+  end
+
+let run_until e adversary ~max_rounds =
+  let rec loop () =
+    if e.round >= max_rounds then ()
+    else match step e adversary with `Quiescent -> () | `Continue -> loop ()
+  in
+  loop ()
+
+let outcome e =
+  let rounds_to_decide =
+    let vacuous = alive_count e = 0 in
+    if vacuous then Some e.round
+    else begin
+      let worst = ref 0 and all = ref true in
+      for i = 0 to e.n - 1 do
+        if e.alive.(i) then
+          if e.decision_round.(i) < 0 then all := false
+          else if e.decision_round.(i) > !worst then worst := e.decision_round.(i)
+      done;
+      if !all then Some !worst else None
+    end
+  in
+  {
+    rounds_executed = e.round;
+    rounds_to_decide;
+    decisions = Array.copy e.decisions;
+    faulty = Array.map not e.alive;
+    halted = Array.copy e.halted;
+    kills_used = e.kills_used;
+    quiescent = active_count e = 0;
+    trace = e.trace;
+  }
+
+let run ?record_trace ?observer ?(max_rounds = 10_000) protocol adversary ~inputs
+    ~t ~rng =
+  let e = start ?record_trace ?observer protocol ~inputs ~t ~rng in
+  run_until e adversary ~max_rounds;
+  outcome e
+
+let snapshot e =
+  {
+    e with
+    states = Array.copy e.states;
+    alive = Array.copy e.alive;
+    halted = Array.copy e.halted;
+    decisions = Array.copy e.decisions;
+    decision_round = Array.copy e.decision_round;
+    proc_rngs = Array.map Prng.Rng.copy e.proc_rngs;
+    adv_rng = Prng.Rng.copy e.adv_rng;
+    trace = None;
+  }
+
+let reseed e rng =
+  for i = 0 to e.n - 1 do
+    e.proc_rngs.(i) <- Prng.Rng.split rng
+  done;
+  e.adv_rng <- Prng.Rng.split rng
+
+let round (e : _ exec) = e.round
+
+let n (e : _ exec) = e.n
+
+let kills_used (e : _ exec) = e.kills_used
+
+let alive (e : _ exec) = Array.copy e.alive
+
+let active_mask (e : _ exec) = Array.init e.n (active_at e)
+
+let states (e : _ exec) = Array.copy e.states
+
+let decisions (e : _ exec) = Array.copy e.decisions

@@ -1,0 +1,116 @@
+(** The synchronous execution engine.
+
+    Implements the model of Section 3.1: lockstep rounds, each split into
+    Phase A (local computation and coin flips) and Phase B (message
+    exchange), with the adversary intervening between the two. Fail-stop
+    semantics follow the paper exactly: a victim's final broadcast reaches
+    only the recipient subset the adversary chose, and the victim is dead
+    afterwards.
+
+    Executions are first-class ({!type:exec}): they can be stepped one round
+    at a time, snapshotted, reseeded, and resumed — the mechanism behind the
+    Monte-Carlo valency estimation of the lower-bound adversary. *)
+
+exception Budget_exceeded of string
+(** The adversary tried to fail more than its remaining budget. *)
+
+exception Invalid_kill of string
+(** The adversary named a dead, halted, duplicated, or out-of-range victim,
+    or an out-of-range recipient. *)
+
+exception Decision_changed of string
+(** A protocol revoked or altered a decision — a protocol bug. *)
+
+type ('state, 'msg) exec
+(** A (possibly partial) execution. *)
+
+type outcome = {
+  rounds_executed : int;
+  rounds_to_decide : int option;
+      (** Round by which every non-faulty process had decided — the paper's
+          complexity measure. [None] if some non-faulty process never
+          decided within the executed rounds. When no process survives, the
+          requirement is vacuous and this is [Some rounds_executed]. *)
+  decisions : int option array;
+  faulty : bool array;
+  halted : bool array;
+  kills_used : int;
+  quiescent : bool;
+      (** The run ended because no process was left active (all halted or
+          dead), as opposed to hitting the round cap. *)
+  trace : Trace.t option;
+}
+
+val start :
+  ?record_trace:bool ->
+  ?observer:('msg -> bool) ->
+  ('state, 'msg) Protocol.t ->
+  inputs:int array ->
+  t:int ->
+  rng:Prng.Rng.t ->
+  ('state, 'msg) exec
+(** Create a fresh execution. [inputs] are the processes' input bits (its
+    length is [n]); [t] is the adversary budget; [rng] is split into one
+    private stream per process plus one for the adversary. [observer]
+    classifies broadcast messages as "1" for trace statistics. *)
+
+val step : ('state, 'msg) exec -> ('state, 'msg) Adversary.t -> [ `Continue | `Quiescent ]
+(** Execute one full round under the given adversary. [`Quiescent] means no
+    process was active (the round did not execute). *)
+
+val run_until :
+  ('state, 'msg) exec ->
+  ('state, 'msg) Adversary.t ->
+  max_rounds:int ->
+  unit
+(** Step until quiescent or until [max_rounds] total rounds have executed. *)
+
+val outcome : ('state, 'msg) exec -> outcome
+
+val run :
+  ?record_trace:bool ->
+  ?observer:('msg -> bool) ->
+  ?max_rounds:int ->
+  ('state, 'msg) Protocol.t ->
+  ('state, 'msg) Adversary.t ->
+  inputs:int array ->
+  t:int ->
+  rng:Prng.Rng.t ->
+  outcome
+(** [start] + [run_until] + [outcome]. Default [max_rounds] is 10_000. *)
+
+val snapshot : ('state, 'msg) exec -> ('state, 'msg) exec
+(** Deep copy: stepping the copy never affects the original. The copy
+    replays the same randomness unless {!reseed} is called. *)
+
+val reseed : ('state, 'msg) exec -> Prng.Rng.t -> unit
+(** Replace every private stream with fresh splits of the given source, so
+    the execution's future coins are resampled — the core operation for
+    estimating decision probabilities by continuation sampling. *)
+
+(** {2 Inspection} — read-only views used by adaptive adversaries and tests. *)
+
+val round : ('state, 'msg) exec -> int
+(** Rounds executed so far. *)
+
+val n : ('state, 'msg) exec -> int
+
+val budget_left : ('state, 'msg) exec -> int
+
+val kills_used : ('state, 'msg) exec -> int
+
+val alive : ('state, 'msg) exec -> bool array
+(** A copy. *)
+
+val active_mask : ('state, 'msg) exec -> bool array
+(** Alive and not halted — the processes an adversary may name as victims
+    next round. A copy. *)
+
+val states : ('state, 'msg) exec -> 'state array
+(** A copy of the state vector. *)
+
+val decisions : ('state, 'msg) exec -> int option array
+
+val alive_count : ('state, 'msg) exec -> int
+
+val active_count : ('state, 'msg) exec -> int

@@ -1,0 +1,10 @@
+type ('state, 'msg) t = {
+  name : string;
+  init : n:int -> pid:int -> input:int -> 'state;
+  phase_a : 'state -> Prng.Rng.t -> 'state * 'msg;
+  phase_b : 'state -> round:int -> received:(int * 'msg) array -> 'state;
+  decision : 'state -> int option;
+  halted : 'state -> bool;
+}
+
+let decided p s = Option.is_some (p.decision s)

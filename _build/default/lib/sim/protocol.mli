@@ -1,0 +1,34 @@
+(** The protocol interface: what a distributed algorithm must provide to run
+    on the synchronous engine.
+
+    The engine executes the paper's two-phase round structure (Section 3.1):
+
+    - {b Phase A}: every active process updates its state, flips local coins
+      from its private stream, and produces the message it will broadcast.
+    - {b Phase B}: every process that survived the adversary's kills receives
+      the delivered messages (always including its own) and updates its
+      state, possibly deciding and possibly halting.
+
+    States should be immutable values: the lower-bound machinery snapshots
+    executions and replays alternative futures, which is only sound if
+    states are not shared mutable structures. *)
+
+type ('state, 'msg) t = {
+  name : string;
+  init : n:int -> pid:int -> input:int -> 'state;
+      (** Initial state of process [pid] of [n] with the given input bit. *)
+  phase_a : 'state -> Prng.Rng.t -> 'state * 'msg;
+      (** Local computation and coin flips; returns the broadcast message. *)
+  phase_b : 'state -> round:int -> received:(int * 'msg) array -> 'state;
+      (** Deliver messages, as (sender, message) pairs sorted by sender.
+          The process's own message is always included. *)
+  decision : 'state -> int option;
+      (** The decided output, once the process has irrevocably decided.
+          Must never change once set; the engine enforces this. *)
+  halted : 'state -> bool;
+      (** True once the process has stopped: it no longer sends or receives.
+          A halted process must have decided. *)
+}
+
+val decided : ('state, 'msg) t -> 'state -> bool
+(** [decided p s] is [true] iff [p.decision s] is [Some _]. *)

@@ -1,0 +1,70 @@
+type summary = {
+  trials : int;
+  rounds : Stats.Welford.t;
+  rounds_hist : Stats.Histogram.t;
+  kills : Stats.Welford.t;
+  decided_zero : int;
+  decided_one : int;
+  non_terminating : int;
+  safety_errors : string list;
+}
+
+let mean_rounds s = Stats.Welford.mean s.rounds
+
+let input_gen_random ~n rng = Prng.Sample.random_bits rng n
+
+let input_gen_const ~n v _rng = Array.make n v
+
+let input_gen_split ~n rng =
+  let a = Array.init n (fun i -> if i < n / 2 then 0 else 1) in
+  Prng.Sample.shuffle rng a;
+  a
+
+let consensus_value (o : Engine.outcome) =
+  let v = ref None in
+  Array.iter
+    (fun d -> match (d, !v) with Some d, None -> v := Some d | _ -> ())
+    o.decisions;
+  !v
+
+let run_trials ?(max_rounds = 10_000) ?strict ~trials ~seed ~gen_inputs ~t
+    protocol adversary =
+  if trials <= 0 then invalid_arg "Runner.run_trials: trials must be positive";
+  let master = Prng.Rng.create seed in
+  let rounds = Stats.Welford.create () in
+  let rounds_hist = Stats.Histogram.create () in
+  let kills = Stats.Welford.create () in
+  let decided_zero = ref 0 in
+  let decided_one = ref 0 in
+  let non_terminating = ref 0 in
+  let safety_errors = ref [] in
+  for trial = 1 to trials do
+    let rng = Prng.Rng.split master in
+    let inputs = gen_inputs rng in
+    let o = Engine.run ~max_rounds protocol adversary ~inputs ~t ~rng in
+    let verdict = Checker.check ?strict ~inputs o in
+    if not (verdict.Checker.agreement && verdict.Checker.validity) then
+      safety_errors :=
+        List.map (Printf.sprintf "trial %d: %s" trial) verdict.Checker.errors
+        @ !safety_errors;
+    (match o.rounds_to_decide with
+    | Some r ->
+        Stats.Welford.add_int rounds r;
+        Stats.Histogram.add rounds_hist r
+    | None -> incr non_terminating);
+    Stats.Welford.add_int kills o.kills_used;
+    (match consensus_value o with
+    | Some 0 -> incr decided_zero
+    | Some _ -> incr decided_one
+    | None -> ())
+  done;
+  {
+    trials;
+    rounds;
+    rounds_hist;
+    kills;
+    decided_zero = !decided_zero;
+    decided_one = !decided_one;
+    non_terminating = !non_terminating;
+    safety_errors = List.rev !safety_errors;
+  }

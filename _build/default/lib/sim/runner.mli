@@ -1,0 +1,43 @@
+(** Multi-trial experiment driver: runs a protocol under an adversary many
+    times with independent randomness and aggregates the paper's complexity
+    measure (rounds until all non-faulty processes decide). *)
+
+type summary = {
+  trials : int;
+  rounds : Stats.Welford.t;
+      (** Rounds-to-decide over terminating trials. *)
+  rounds_hist : Stats.Histogram.t;
+  kills : Stats.Welford.t;  (** Adversary kills actually spent per trial. *)
+  decided_zero : int;  (** Trials whose consensus value was 0. *)
+  decided_one : int;
+  non_terminating : int;
+      (** Trials that hit the round cap with undecided non-faulty processes.
+          Should be 0 for every protocol here; reported rather than hidden. *)
+  safety_errors : string list;
+      (** Agreement/validity violations across all trials (should be []). *)
+}
+
+val mean_rounds : summary -> float
+
+val input_gen_random : n:int -> Prng.Rng.t -> int array
+(** Independent unbiased input bits — the hardest honest input for
+    consensus. *)
+
+val input_gen_const : n:int -> int -> Prng.Rng.t -> int array
+(** All processes share the given input (validity-exercising workload). *)
+
+val input_gen_split : n:int -> Prng.Rng.t -> int array
+(** Half zeros, half ones, randomly assigned — maximally divided inputs. *)
+
+val run_trials :
+  ?max_rounds:int ->
+  ?strict:bool ->
+  trials:int ->
+  seed:int ->
+  gen_inputs:(Prng.Rng.t -> int array) ->
+  t:int ->
+  ('state, 'msg) Protocol.t ->
+  ('state, 'msg) Adversary.t ->
+  summary
+(** Each trial gets its own split of the master seed: trial [i] of a given
+    seed is reproducible regardless of how many trials run. *)

@@ -1,0 +1,51 @@
+type round_record = {
+  round : int;
+  active_before : int;
+  killed : int array;
+  partial_sends : int;
+  messages_delivered : int;
+  newly_decided : int;
+  newly_halted : int;
+  ones_pending : int;
+}
+
+type t = { n : int; mutable rev_records : round_record list; mutable count : int }
+
+let create ~n = { n; rev_records = []; count = 0 }
+
+let record t r =
+  t.rev_records <- r :: t.rev_records;
+  t.count <- t.count + 1
+
+let records t = List.rev t.rev_records
+
+let length t = t.count
+
+let n t = t.n
+
+let total_kills t =
+  List.fold_left (fun acc r -> acc + Array.length r.killed) 0 t.rev_records
+
+let final_active t =
+  match t.rev_records with [] -> None | r :: _ -> Some r.active_before
+
+let to_csv t =
+  let header =
+    "round,active,kills,partial_sends,delivered,newly_decided,newly_halted,ones_pending"
+  in
+  let line r =
+    Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d" r.round r.active_before
+      (Array.length r.killed) r.partial_sends r.messages_delivered
+      r.newly_decided r.newly_halted r.ones_pending
+  in
+  String.concat "\n" (header :: List.map line (records t))
+
+let render t =
+  let line r =
+    Printf.sprintf
+      "r%-4d active=%-5d kills=%-3d partial=%-2d delivered=%-7d decided+=%-3d halted+=%-3d ones=%s"
+      r.round r.active_before (Array.length r.killed) r.partial_sends
+      r.messages_delivered r.newly_decided r.newly_halted
+      (if r.ones_pending < 0 then "-" else string_of_int r.ones_pending)
+  in
+  String.concat "\n" (List.map line (records t))

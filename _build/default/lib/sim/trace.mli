@@ -1,0 +1,41 @@
+(** Execution traces: one record per executed round, for debugging,
+    property tests, and the examples' narrative output. *)
+
+type round_record = {
+  round : int;
+  active_before : int;  (** Processes that broadcast this round. *)
+  killed : int array;  (** Victims failed this round, ascending. *)
+  partial_sends : int;  (** Kills that still delivered to someone. *)
+  messages_delivered : int;  (** Total (sender, receiver) deliveries. *)
+  newly_decided : int;
+  newly_halted : int;
+  ones_pending : int;
+      (** Broadcast messages classified as "1" by the protocol's observer
+          (see {!val:create}); -1 when no observer was supplied. *)
+}
+
+type t
+
+val create : n:int -> t
+
+val record : t -> round_record -> unit
+
+val records : t -> round_record list
+(** In execution order. *)
+
+val length : t -> int
+
+val n : t -> int
+
+val total_kills : t -> int
+
+val final_active : t -> int option
+(** Active count entering the last recorded round. *)
+
+val render : t -> string
+(** Compact one-line-per-round rendering. *)
+
+val to_csv : t -> string
+(** One CSV row per round (columns: round, active, kills, partial_sends,
+    delivered, newly_decided, newly_halted, ones_pending) for external
+    plotting. *)

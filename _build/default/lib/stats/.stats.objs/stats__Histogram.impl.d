@@ -1,0 +1,1 @@
+lib/stats/histogram.ml: Float Hashtbl List Option Printf Stdlib String

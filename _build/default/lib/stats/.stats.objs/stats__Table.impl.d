@@ -1,0 +1,1 @@
+lib/stats/table.ml: Float List Printf Stdlib String

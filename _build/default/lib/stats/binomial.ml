@@ -1,0 +1,65 @@
+let check n p =
+  if n < 0 then invalid_arg "Binomial: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Binomial: p out of [0,1]"
+
+let log_pmf ~n ~k ~p =
+  check n p;
+  if k < 0 || k > n then Logspace.neg_inf
+  else if p = 0.0 then (if k = 0 then 0.0 else Logspace.neg_inf)
+  else if p = 1.0 then (if k = n then 0.0 else Logspace.neg_inf)
+  else
+    Logspace.ln_choose n k
+    +. (float_of_int k *. log p)
+    +. (float_of_int (n - k) *. Float.log1p (-.p))
+
+let pmf ~n ~k ~p = Logspace.to_prob (log_pmf ~n ~k ~p)
+
+(* Sum whichever tail is shorter, then complement if needed. *)
+let log_tail_sum ~n ~p ~lo ~hi =
+  if hi < lo then Logspace.neg_inf
+  else begin
+    let acc = ref Logspace.neg_inf in
+    for k = lo to hi do
+      acc := Logspace.add !acc (log_pmf ~n ~k ~p)
+    done;
+    Float.min 0.0 !acc
+  end
+
+let log_cdf ~n ~k ~p =
+  check n p;
+  if k < 0 then Logspace.neg_inf
+  else if k >= n then 0.0
+  else if k <= n / 2 then log_tail_sum ~n ~p ~lo:0 ~hi:k
+  else
+    (* 1 - Pr[X >= k+1], computed in log space. *)
+    let upper = log_tail_sum ~n ~p ~lo:(k + 1) ~hi:n in
+    if upper >= 0.0 then Logspace.neg_inf else Float.log1p (-.exp upper)
+
+let log_sf ~n ~k ~p =
+  check n p;
+  if k <= 0 then 0.0
+  else if k > n then Logspace.neg_inf
+  else if k > n / 2 then log_tail_sum ~n ~p ~lo:k ~hi:n
+  else
+    let lower = log_tail_sum ~n ~p ~lo:0 ~hi:(k - 1) in
+    if lower >= 0.0 then Logspace.neg_inf else Float.log1p (-.exp lower)
+
+let cdf ~n ~k ~p = Logspace.to_prob (log_cdf ~n ~k ~p)
+
+let sf ~n ~k ~p = Logspace.to_prob (log_sf ~n ~k ~p)
+
+let mean ~n ~p =
+  check n p;
+  float_of_int n *. p
+
+let variance ~n ~p =
+  check n p;
+  float_of_int n *. p *. (1.0 -. p)
+
+let tail_above_mean ~n ~dev =
+  let mu = float_of_int n /. 2.0 in
+  let k = int_of_float (Float.ceil (mu +. dev)) in
+  sf ~n ~k ~p:0.5
+
+let paper_tail_lower_bound ~s =
+  exp (-4.0 *. (s +. 1.0) *. (s +. 1.0)) /. sqrt (2.0 *. Float.pi)

@@ -1,0 +1,32 @@
+(** Exact binomial distribution in log space.
+
+    This is the measurement side of Lemma 4.4: the paper lower-bounds the
+    upper tail of Binomial(n, 1/2) by e^(-4(t+1)^2) / sqrt(2 pi); here we
+    compute the tail exactly so the bound can be tabulated against truth. *)
+
+val log_pmf : n:int -> k:int -> p:float -> float
+(** [log_pmf ~n ~k ~p] = ln Pr[X = k], X ~ Binomial(n, p). *)
+
+val pmf : n:int -> k:int -> p:float -> float
+
+val log_cdf : n:int -> k:int -> p:float -> float
+(** [log_cdf ~n ~k ~p] = ln Pr[X <= k]. *)
+
+val log_sf : n:int -> k:int -> p:float -> float
+(** [log_sf ~n ~k ~p] = ln Pr[X >= k] (survival, inclusive). *)
+
+val cdf : n:int -> k:int -> p:float -> float
+
+val sf : n:int -> k:int -> p:float -> float
+
+val mean : n:int -> p:float -> float
+
+val variance : n:int -> p:float -> float
+
+val tail_above_mean : n:int -> dev:float -> float
+(** [tail_above_mean ~n ~dev] = Pr[X - E X >= dev] for X ~ Binomial(n, 1/2),
+    i.e. the quantity bounded in Lemma 4.4 (with [dev = t sqrt n]). *)
+
+val paper_tail_lower_bound : s:float -> float
+(** Lemma 4.4's bound: e^(-4 (s + 1)^2) / sqrt (2 pi), where the deviation
+    is [s * sqrt n]. Valid for [s < sqrt n / 8]. *)

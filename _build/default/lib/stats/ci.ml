@@ -1,0 +1,67 @@
+type interval = { lo : float; hi : float }
+
+(* Inverse standard normal CDF (Acklam's rational approximation, |eps| <
+   1.15e-9) — used only for nonstandard confidence levels. *)
+let inverse_normal_cdf p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Ci.inverse_normal_cdf";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let tail q =
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  in
+  let p_low = 0.02425 in
+  if p < p_low then tail (sqrt (-2.0 *. log p))
+  else if p > 1.0 -. p_low then -.tail (sqrt (-2.0 *. log (1.0 -. p)))
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+
+let z_of_confidence confidence =
+  match confidence with
+  | 0.80 -> 1.2816
+  | 0.90 -> 1.6449
+  | 0.95 -> 1.9600
+  | 0.98 -> 2.3263
+  | 0.99 -> 2.5758
+  | 0.999 -> 3.2905
+  | c when c > 0.0 && c < 1.0 -> -.inverse_normal_cdf ((1.0 -. c) /. 2.0)
+  | _ -> invalid_arg "Ci.z_of_confidence: level must be in (0,1)"
+
+let mean_interval ?(confidence = 0.95) w =
+  let z = z_of_confidence confidence in
+  let m = Welford.mean w and se = Welford.std_error w in
+  if Float.is_nan se then { lo = m; hi = m }
+  else { lo = m -. (z *. se); hi = m +. (z *. se) }
+
+let proportion ~successes ~trials =
+  if trials <= 0 then Float.nan
+  else float_of_int successes /. float_of_int trials
+
+let wilson ?(confidence = 0.95) ~successes trials =
+  if trials <= 0 then invalid_arg "Ci.wilson: no trials";
+  if successes < 0 || successes > trials then invalid_arg "Ci.wilson: bad successes";
+  let z = z_of_confidence confidence in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  { lo = Float.max 0.0 (center -. half); hi = Float.min 1.0 (center +. half) }

@@ -1,0 +1,65 @@
+type linear = { intercept : float; slope : float; r2 : float }
+
+let linear pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    pts;
+  let mx = !sx /. fn and my = !sy /. fn in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    pts;
+  if !sxx = 0.0 then invalid_arg "Fit.linear: constant x";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = !syy -. (slope *. !sxy) in
+  let r2 = if !syy = 0.0 then 1.0 else 1.0 -. (ss_res /. !syy) in
+  { intercept; slope; r2 }
+
+let through_origin pts =
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sxy := !sxy +. (x *. y);
+      sxx := !sxx +. (x *. x))
+    pts;
+  if !sxx = 0.0 then invalid_arg "Fit.through_origin: all x are zero";
+  !sxy /. !sxx
+
+let r2_through_origin pts =
+  let c = through_origin pts in
+  let my =
+    Array.fold_left (fun acc (_, y) -> acc +. y) 0.0 pts
+    /. float_of_int (Array.length pts)
+  in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let e = y -. (c *. x) in
+      let d = y -. my in
+      ss_res := !ss_res +. (e *. e);
+      ss_tot := !ss_tot +. (d *. d))
+    pts;
+  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)
+
+type power = { coefficient : float; exponent : float; r2_log : float }
+
+let power_law pts =
+  Array.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then
+        invalid_arg "Fit.power_law: points must be positive")
+    pts;
+  let logged = Array.map (fun (x, y) -> (log x, log y)) pts in
+  let { intercept; slope; r2 } = linear logged in
+  { coefficient = exp intercept; exponent = slope; r2_log = r2 }

@@ -1,0 +1,26 @@
+(** Least-squares fits used to check the paper's scaling laws.
+
+    Experiment E3 fits measured E[rounds] against c * sqrt(n / log n);
+    E4 against c * t / sqrt(n log(2 + t/sqrt n)). Both reduce to a
+    one-parameter fit through the origin after transforming x, plus a
+    general linear fit for diagnostics. *)
+
+type linear = { intercept : float; slope : float; r2 : float }
+
+val linear : (float * float) array -> linear
+(** Ordinary least squares y = intercept + slope * x. Requires >= 2 points
+    with non-constant x. *)
+
+val through_origin : (float * float) array -> float
+(** Best c for y = c * x (minimizing squared error). Requires at least one
+    point with non-zero x. *)
+
+val r2_through_origin : (float * float) array -> float
+(** Coefficient of determination of the through-origin fit (against the
+    mean-zero baseline). *)
+
+type power = { coefficient : float; exponent : float; r2_log : float }
+
+val power_law : (float * float) array -> power
+(** Fit y = coefficient * x^exponent by linear regression in log-log space.
+    All x and y must be positive. *)

@@ -1,0 +1,36 @@
+(** Integer-valued histograms for round-count distributions. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one observation (e.g. the round count of one trial). *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many h v c] records [c] observations of value [v]. *)
+
+val count : t -> int
+(** Total number of observations. *)
+
+val count_of : t -> int -> int
+(** Observations equal to the given value. *)
+
+val min_value : t -> int option
+
+val max_value : t -> int option
+
+val mean : t -> float
+
+val mass_at_least : t -> int -> float
+(** [mass_at_least h v] is the empirical Pr[X >= v]. *)
+
+val quantile : t -> float -> int option
+(** [quantile h q] is the smallest value at or above the [q]-quantile
+    (0 <= q <= 1); [None] when empty. *)
+
+val bins : t -> (int * int) list
+(** Sorted (value, count) pairs. *)
+
+val render : ?width:int -> t -> string
+(** A small ASCII bar rendering, one line per populated value. *)

@@ -1,0 +1,40 @@
+let statistic xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  if n = 0 || m = 0 then invalid_arg "Ks.statistic: empty sample";
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort compare a;
+  Array.sort compare b;
+  let fn = float_of_int n and fm = float_of_int m in
+  (* Walk the merged order one distinct value at a time, consuming ties on
+     both sides before comparing the empirical CDFs. *)
+  let rec walk i j best =
+    if i >= n && j >= m then best
+    else begin
+      let t =
+        if i >= n then b.(j)
+        else if j >= m then a.(i)
+        else Float.min a.(i) b.(j)
+      in
+      let rec skip arr len k = if k < len && arr.(k) <= t then skip arr len (k + 1) else k in
+      let i = skip a n i and j = skip b m j in
+      let d = Float.abs ((float_of_int i /. fn) -. (float_of_int j /. fm)) in
+      walk i j (Float.max best d)
+    end
+  in
+  walk 0 0 0.0
+
+let c_of_alpha = function
+  | 0.10 -> 1.22
+  | 0.05 -> 1.36
+  | 0.01 -> 1.63
+  | 0.001 -> 1.95
+  | _ -> invalid_arg "Ks.critical_value: alpha must be 0.10/0.05/0.01/0.001"
+
+let critical_value ?(alpha = 0.05) n m =
+  if n <= 0 || m <= 0 then invalid_arg "Ks.critical_value: empty sample";
+  let fn = float_of_int n and fm = float_of_int m in
+  c_of_alpha alpha *. sqrt ((fn +. fm) /. (fn *. fm))
+
+let same_distribution ?alpha xs ys =
+  statistic xs ys
+  <= critical_value ?alpha (Array.length xs) (Array.length ys)

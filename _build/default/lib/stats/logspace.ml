@@ -1,0 +1,57 @@
+let neg_inf = Float.neg_infinity
+
+let add la lb =
+  if la = neg_inf then lb
+  else if lb = neg_inf then la
+  else
+    let hi = Float.max la lb and lo = Float.min la lb in
+    hi +. Float.log1p (exp (lo -. hi))
+
+let sub la lb =
+  if lb = neg_inf then la
+  else if la < lb then invalid_arg "Logspace.sub: negative result"
+  else if la = lb then neg_inf
+  else la +. Float.log1p (-.exp (lb -. la))
+
+let sum ls =
+  let hi = Array.fold_left Float.max neg_inf ls in
+  if hi = neg_inf then neg_inf
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun l -> acc := !acc +. exp (l -. hi)) ls;
+    hi +. log !acc
+  end
+
+let of_prob p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Logspace.of_prob: out of [0,1]";
+  log p
+
+let to_prob l = Float.min 1.0 (Float.max 0.0 (exp l))
+
+(* ln n! — exact prefix table, then a Stirling series whose first omitted
+   term is O(1/n^7), i.e. far below double precision for n >= 1024. *)
+let table_size = 1024
+
+let ln_fact_table =
+  let t = Array.make table_size 0.0 in
+  for n = 2 to table_size - 1 do
+    t.(n) <- t.(n - 1) +. log (float_of_int n)
+  done;
+  t
+
+let ln_factorial n =
+  if n < 0 then invalid_arg "Logspace.ln_factorial: negative argument";
+  if n < table_size then ln_fact_table.(n)
+  else
+    let x = float_of_int n in
+    let inv = 1.0 /. x in
+    let inv2 = inv *. inv in
+    ((x +. 0.5) *. log x) -. x
+    +. (0.5 *. log (2.0 *. Float.pi))
+    +. (inv /. 12.0)
+    -. (inv *. inv2 /. 360.0)
+    +. (inv *. inv2 *. inv2 /. 1260.0)
+
+let ln_choose n k =
+  if k < 0 || k > n then neg_inf
+  else ln_factorial n -. ln_factorial k -. ln_factorial (n - k)

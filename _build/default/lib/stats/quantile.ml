@@ -1,0 +1,21 @@
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Quantile.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantile.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+let iqr xs = quantile xs 0.75 -. quantile xs 0.25
+
+let summary xs =
+  (quantile xs 0.0, quantile xs 0.25, quantile xs 0.5, quantile xs 0.75,
+   quantile xs 1.0)

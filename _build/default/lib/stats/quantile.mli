@@ -1,0 +1,14 @@
+(** Order statistics over float samples. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] is the [q]-quantile (0 <= q <= 1) of the sample with
+    linear interpolation between order statistics. Does not mutate [xs].
+    Raises [Invalid_argument] on an empty sample or [q] outside [0,1]. *)
+
+val median : float array -> float
+
+val iqr : float array -> float
+(** Interquartile range. *)
+
+val summary : float array -> float * float * float * float * float
+(** [(min, q1, median, q3, max)] — five-number summary. *)

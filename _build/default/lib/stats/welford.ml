@@ -1,0 +1,56 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; lo = Float.infinity; hi = Float.neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let add_int t x = add t (float_of_int x)
+
+let count t = t.n
+
+let mean t = if t.n = 0 then Float.nan else t.mean
+
+let variance t = if t.n < 2 then Float.nan else t.m2 /. float_of_int (t.n - 1)
+
+let stddev t = sqrt (variance t)
+
+let std_error t = if t.n < 2 then Float.nan else stddev t /. sqrt (float_of_int t.n)
+
+let min t = t.lo
+
+let max t = t.hi
+
+let total t = t.mean *. float_of_int t.n
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fn = float_of_int n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. fn) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. fn)
+    in
+    { n; mean; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+  end
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t

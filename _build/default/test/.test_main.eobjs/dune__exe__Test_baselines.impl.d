@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Core List Option Printf Prng Sim

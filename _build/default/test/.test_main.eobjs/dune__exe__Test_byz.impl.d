@@ -1,0 +1,1 @@
+test/test_byz.ml: Alcotest Array Byz List Option Printf Prng Stats

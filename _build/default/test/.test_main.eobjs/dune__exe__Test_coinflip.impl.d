@@ -1,0 +1,1 @@
+test/test_coinflip.ml: Alcotest Coinflip Float List Printf Prng Stats

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Core Float Format List Option Printf Prng Sim Stats

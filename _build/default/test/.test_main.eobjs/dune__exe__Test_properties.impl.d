@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Async Baselines Byz Coinflip Core Float Fun Gen List Prng QCheck QCheck_alcotest Sim Stats Stdlib

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Baselines Core List Option Printf Prng Sim String

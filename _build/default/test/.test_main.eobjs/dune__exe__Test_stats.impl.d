@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Baselines Core Float List Printf Prng Sim Stats String

@@ -1,0 +1,1 @@
+test/test_synran.ml: Alcotest Array Baselines Core Float Format Hashtbl List Printf Prng Sim Stats

@@ -1,0 +1,389 @@
+(* Unit tests for the Section 3 machinery: valency classification, the
+   band-control adversary's discipline and effectiveness, and the
+   Monte-Carlo valency driver. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- Valency ---------------------------------------------------------------- *)
+
+let classification =
+  Alcotest.testable
+    (fun ppf c -> Format.pp_print_string ppf (Core.Valency.to_string c))
+    ( = )
+
+let test_epsilon () =
+  close ~eps:1e-12 "eps_0" 0.1 (Core.Valency.epsilon ~n:100 ~k:0);
+  close ~eps:1e-12 "eps_5" (0.1 -. 0.05) (Core.Valency.epsilon ~n:100 ~k:5);
+  check_bool "negative for large k" true (Core.Valency.epsilon ~n:100 ~k:50 < 0.0)
+
+let test_classify_table () =
+  let n = 100 and k = 0 in
+  (* eps = 0.1. *)
+  Alcotest.check classification "bivalent" Core.Valency.Bivalent
+    (Core.Valency.classify ~n ~k ~min_r:0.01 ~max_r:0.99);
+  Alcotest.check classification "0-valent" Core.Valency.Zero_valent
+    (Core.Valency.classify ~n ~k ~min_r:0.01 ~max_r:0.5);
+  Alcotest.check classification "1-valent" Core.Valency.One_valent
+    (Core.Valency.classify ~n ~k ~min_r:0.5 ~max_r:0.99);
+  Alcotest.check classification "null-valent" Core.Valency.Null_valent
+    (Core.Valency.classify ~n ~k ~min_r:0.3 ~max_r:0.7)
+
+let test_classify_boundaries () =
+  let n = 100 and k = 0 in
+  (* min_r = eps exactly is NOT < eps: the 1-side of the table. *)
+  Alcotest.check classification "min at eps" Core.Valency.One_valent
+    (Core.Valency.classify ~n ~k ~min_r:0.1 ~max_r:0.95);
+  Alcotest.check classification "max at 1-eps" Core.Valency.Null_valent
+    (Core.Valency.classify ~n ~k ~min_r:0.1 ~max_r:0.9)
+
+let test_classify_predicates () =
+  check_bool "univalent" true (Core.Valency.is_univalent Core.Valency.Zero_valent);
+  check_bool "bivalent not univalent" false
+    (Core.Valency.is_univalent Core.Valency.Bivalent);
+  check_bool "null keeps running" true
+    (Core.Valency.keeps_running Core.Valency.Null_valent);
+  check_bool "1-valent ends" false (Core.Valency.keeps_running Core.Valency.One_valent)
+
+let test_classify_invalid () =
+  check_bool "min > max rejected" true
+    (try
+       ignore (Core.Valency.classify ~n:100 ~k:0 ~min_r:0.9 ~max_r:0.1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_classification_exhaustive () =
+  (* Every (min_r, max_r) grid point lands in exactly one class. *)
+  let n = 64 in
+  for k = 0 to 5 do
+    List.iter
+      (fun min_r ->
+        List.iter
+          (fun max_r ->
+            if min_r <= max_r then
+              ignore (Core.Valency.classify ~n ~k ~min_r ~max_r))
+          [ 0.0; 0.05; 0.12; 0.5; 0.88; 0.95; 1.0 ])
+      [ 0.0; 0.05; 0.12; 0.5; 0.88; 0.95; 1.0 ]
+  done
+
+(* --- Band control ------------------------------------------------------------- *)
+
+let band ?config () =
+  Core.Lb_adversary.band_control ?config ~rules:Core.Onesided.paper
+    ~bit_of_msg:Core.Synran.bit_of_msg ()
+
+let test_band_respects_budget_and_safety () =
+  for seed = 1 to 8 do
+    let n = 48 in
+    let rng = Prng.Rng.create seed in
+    let inputs = Sim.Runner.input_gen_random ~n rng in
+    let o =
+      Sim.Engine.run ~max_rounds:2000 (Core.Synran.protocol n) (band ())
+        ~inputs ~t:(n - 1) ~rng
+    in
+    check_bool "within budget" true (o.Sim.Engine.kills_used <= n - 1);
+    Sim.Checker.assert_ok ~inputs o
+  done
+
+let test_band_per_round_cap () =
+  let n = 64 in
+  let cap = 5 in
+  let adversary =
+    band
+      ~config:{ Core.Lb_adversary.default_config with per_round_cap = Some cap }
+      ()
+  in
+  let rng = Prng.Rng.create 3 in
+  let inputs = Sim.Runner.input_gen_split ~n rng in
+  let o =
+    Sim.Engine.run ~record_trace:true ~max_rounds:2000 (Core.Synran.protocol n)
+      adversary ~inputs ~t:(n - 1) ~rng
+  in
+  match o.Sim.Engine.trace with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+      List.iter
+        (fun r ->
+          check_bool "per-round cap held" true
+            (Array.length r.Sim.Trace.killed <= cap))
+        (Sim.Trace.records tr)
+
+let test_band_forces_long_executions () =
+  (* The paper's qualitative claim: adaptive band control forces far more
+     rounds than the adversary-free baseline. *)
+  let n = 96 in
+  let protocol = Core.Synran.protocol n in
+  let run adversary =
+    Sim.Runner.run_trials ~max_rounds:2000 ~trials:25 ~seed:7
+      ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+      ~t:(n - 1) protocol adversary
+  in
+  let free = run Sim.Adversary.null in
+  let attacked = run (band ()) in
+  check_bool
+    (Printf.sprintf "adaptive %.1f >> free %.1f"
+       (Sim.Runner.mean_rounds attacked)
+       (Sim.Runner.mean_rounds free))
+    true
+    (Sim.Runner.mean_rounds attacked > 3.0 *. Sim.Runner.mean_rounds free);
+  Alcotest.(check (list string)) "no safety errors" []
+    attacked.Sim.Runner.safety_errors
+
+let test_band_resets_between_trials () =
+  let n = 32 in
+  let protocol = Core.Synran.protocol n in
+  let adversary = band () in
+  let run () =
+    Sim.Runner.run_trials ~max_rounds:2000 ~trials:10 ~seed:9
+      ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+      ~t:(n - 1) protocol adversary
+  in
+  (* Reusing the same adversary value must give identical results because
+     its per-run state resets on round 1. *)
+  let a = run () in
+  let b = run () in
+  close ~eps:1e-12 "identical reruns" (Sim.Runner.mean_rounds a)
+    (Sim.Runner.mean_rounds b)
+
+let test_band_idles_when_budget_zero () =
+  let n = 32 in
+  let rng = Prng.Rng.create 11 in
+  let inputs = Sim.Runner.input_gen_random ~n rng in
+  let o =
+    Sim.Engine.run (Core.Synran.protocol n) (band ()) ~inputs ~t:0 ~rng
+  in
+  check_int "no kills possible" 0 o.Sim.Engine.kills_used;
+  Sim.Checker.assert_ok ~inputs o
+
+let test_band_against_ablated_rules () =
+  (* Band control parameterized by the ablated rule set still respects the
+     engine's discipline (budget, liveness of the run loop); safety of the
+     protocol itself is the E8 finding, not asserted here. *)
+  let n = 40 in
+  let rules = Core.Onesided.no_zero_rule in
+  let adversary =
+    Core.Lb_adversary.band_control ~rules ~bit_of_msg:Core.Synran.bit_of_msg ()
+  in
+  let rng = Prng.Rng.create 13 in
+  let inputs = Sim.Runner.input_gen_random ~n rng in
+  let o =
+    Sim.Engine.run ~max_rounds:2000
+      (Core.Synran.protocol ~rules n)
+      adversary ~inputs ~t:(n - 1) ~rng
+  in
+  check_bool "terminates" true (o.Sim.Engine.rounds_to_decide <> None);
+  check_bool "within budget" true (o.Sim.Engine.kills_used <= n - 1)
+
+(* --- Monte-Carlo valency driver -------------------------------------------------- *)
+
+let test_mc_outcome_valid () =
+  let n = 8 in
+  let rng = Prng.Rng.create 17 in
+  let inputs = Sim.Runner.input_gen_split ~n rng in
+  let o =
+    Core.Lb_adversary.force_long_execution
+      ~config:
+        { Core.Lb_adversary.default_mc_config with samples = 8; horizon = 20 }
+      ~max_rounds:120 (Core.Synran.protocol n) ~inputs ~t:(n - 2) ~rng
+  in
+  check_bool "budget respected" true (o.Sim.Engine.kills_used <= n - 2);
+  Sim.Checker.assert_ok ~inputs o
+
+let test_mc_beats_null () =
+  let n = 8 in
+  let protocol = Core.Synran.protocol n in
+  let master = Prng.Rng.create 19 in
+  let mc_rounds = Stats.Welford.create () in
+  let null_rounds = Stats.Welford.create () in
+  for _ = 1 to 8 do
+    let rng = Prng.Rng.split master in
+    let inputs = Sim.Runner.input_gen_split ~n rng in
+    let o =
+      Core.Lb_adversary.force_long_execution
+        ~config:
+          { Core.Lb_adversary.default_mc_config with samples = 10; horizon = 25 }
+        ~max_rounds:150 protocol ~inputs ~t:(n - 2) ~rng
+    in
+    (match o.Sim.Engine.rounds_to_decide with
+    | Some r -> Stats.Welford.add_int mc_rounds r
+    | None -> Stats.Welford.add_int mc_rounds o.Sim.Engine.rounds_executed);
+    let rng' = Prng.Rng.split master in
+    let o' =
+      Sim.Engine.run protocol Sim.Adversary.null
+        ~inputs:(Sim.Runner.input_gen_split ~n rng')
+        ~t:0 ~rng:rng'
+    in
+    match o'.Sim.Engine.rounds_to_decide with
+    | Some r -> Stats.Welford.add_int null_rounds r
+    | None -> Alcotest.fail "null adversary must terminate"
+  done;
+  check_bool
+    (Printf.sprintf "mc %.1f > null %.1f"
+       (Stats.Welford.mean mc_rounds)
+       (Stats.Welford.mean null_rounds))
+    true
+    (Stats.Welford.mean mc_rounds > Stats.Welford.mean null_rounds)
+
+let test_lower_bound_respected_by_all_adversaries () =
+  (* Sanity: nothing we measured ever dips below Theorem 1's curve in
+     expectation (on these sizes the curve is far below the measurements,
+     so this asserts the plumbing, not the theorem's tightness). *)
+  let n = 32 in
+  let protocol = Core.Synran.protocol n in
+  let s =
+    Sim.Runner.run_trials ~max_rounds:2000 ~trials:20 ~seed:23
+      ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+      ~t:(n - 1) protocol (band ())
+  in
+  check_bool "above theory lower bound" true
+    (Sim.Runner.mean_rounds s >= Core.Theory.lower_bound_rounds ~n ~t:(n - 1))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "core.valency",
+      [
+        tc "epsilon" test_epsilon;
+        tc "classification table" test_classify_table;
+        tc "boundaries" test_classify_boundaries;
+        tc "predicates" test_classify_predicates;
+        tc "invalid" test_classify_invalid;
+        tc "exhaustive grid" test_classification_exhaustive;
+      ] );
+    ( "core.band-control",
+      [
+        tc "budget and safety" test_band_respects_budget_and_safety;
+        tc "per-round cap" test_band_per_round_cap;
+        tc "forces long executions" test_band_forces_long_executions;
+        tc "resets between trials" test_band_resets_between_trials;
+        tc "idles at zero budget" test_band_idles_when_budget_zero;
+        tc "works with ablated rules" test_band_against_ablated_rules;
+      ] );
+    ( "core.mc-valency",
+      [
+        tc "outcome valid" test_mc_outcome_valid;
+        tc "beats null adversary" test_mc_beats_null;
+        tc "above theory curve" test_lower_bound_respected_by_all_adversaries;
+      ] );
+  ]
+
+(* --- Valency probe (Section 3.2 made executable) ----------------------------- *)
+
+let valency_probe_suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let test_initial_state_bivalent () =
+    (* Lemma 3.5: from split inputs with a full budget, both outcomes are
+       still forceable — the probe must certify bivalence at round 0. *)
+    let traj =
+      Core.Valency_probe.trajectory ~samples:25 ~rounds:1 ~n:20 ~t:19 ~seed:3
+        Sim.Adversary.null
+    in
+    match traj with
+    | (0, e) :: _ ->
+        check_bool "initial bivalent" true
+          (e.Core.Valency_probe.classification = Core.Valency.Bivalent);
+        check_bool "max near 1" true (e.Core.Valency_probe.max_r > 0.9);
+        check_bool "min near 0" true (e.Core.Valency_probe.min_r < 0.1)
+    | _ -> Alcotest.fail "no round-0 probe"
+  in
+  let test_collapse_without_intervention () =
+    (* With nobody intervening, a flip round that lands on one side makes
+       the state univalent: eventually min_r = max_r. *)
+    let traj =
+      Core.Valency_probe.trajectory ~samples:25 ~rounds:6 ~n:20 ~t:19 ~seed:3
+        Sim.Adversary.null
+    in
+    let final_univalent =
+      List.exists
+        (fun (_, e) ->
+          Core.Valency.is_univalent e.Core.Valency_probe.classification
+          || e.Core.Valency_probe.max_r -. e.Core.Valency_probe.min_r < 0.05)
+        traj
+    in
+    check_bool "collapses to univalence" true final_univalent
+  in
+  let test_rescue_preserves_bivalence_longer () =
+    let count_bivalent adversary =
+      Core.Valency_probe.trajectory ~samples:25 ~rounds:5 ~n:20 ~t:19 ~seed:3
+        adversary
+      |> List.filter (fun (_, e) ->
+             e.Core.Valency_probe.classification = Core.Valency.Bivalent)
+      |> List.length
+    in
+    let voting =
+      count_bivalent
+        (Core.Lb_adversary.band_control
+           ~config:Core.Lb_adversary.voting_config ~rules:Core.Onesided.paper
+           ~bit_of_msg:Core.Synran.bit_of_msg ())
+    in
+    let idle = count_bivalent Sim.Adversary.null in
+    check_bool
+      (Printf.sprintf "voting %d >= idle %d bivalent rounds" voting idle)
+      true (voting >= idle);
+    check_bool "voting keeps it bivalent at least 3 rounds" true (voting >= 3)
+  in
+  let test_probe_estimate_fields () =
+    let rng = Prng.Rng.create 7 in
+    let inputs = Sim.Runner.input_gen_split ~n:12 rng in
+    let exec =
+      Sim.Engine.start (Core.Synran.protocol 12) ~inputs ~t:11 ~rng
+    in
+    let e = Core.Valency_probe.probe ~samples:10 ~horizon:30 exec ~rng in
+    check_bool "min <= max" true
+      (e.Core.Valency_probe.min_r <= e.Core.Valency_probe.max_r);
+    check_bool "bounded" true
+      (e.Core.Valency_probe.min_r >= 0.0 && e.Core.Valency_probe.max_r <= 1.0);
+    Alcotest.(check int) "samples recorded" 10 e.Core.Valency_probe.samples_per_policy;
+    (* Probing must not disturb the caller's execution. *)
+    Alcotest.(check int) "exec untouched" 0 (Sim.Engine.round exec)
+  in
+  ( "core.valency-probe",
+    [
+      tc "initial state bivalent (Lemma 3.5)" test_initial_state_bivalent;
+      tc "collapse without intervention" test_collapse_without_intervention;
+      tc "rescue preserves bivalence" test_rescue_preserves_bivalence_longer;
+      tc "probe fields" test_probe_estimate_fields;
+    ] )
+
+let suites = suites @ [ valency_probe_suite ]
+
+(* --- Experiment driver determinism -------------------------------------------- *)
+
+let determinism_suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let test_tables_reproducible () =
+    (* The whole harness is seed-deterministic: regenerating a table gives
+       byte-identical output. E2 is pure; E5 exercises engine + adversary +
+       MC sampling end to end. *)
+    List.iter
+      (fun id ->
+        match Core.Experiments.by_id id with
+        | None -> Alcotest.failf "unknown experiment %s" id
+        | Some f ->
+            let a = Stats.Table.render (f Core.Experiments.Quick ~seed:42) in
+            let b = Stats.Table.render (f Core.Experiments.Quick ~seed:42) in
+            Alcotest.(check string) (id ^ " reproducible") a b)
+      [ "e2"; "e5" ]
+  in
+  let test_ids_complete () =
+    Alcotest.(check int) "twelve experiments" 12
+      (List.length Core.Experiments.ids);
+    List.iter
+      (fun id ->
+        Alcotest.(check bool)
+          (id ^ " resolvable") true
+          (Option.is_some (Core.Experiments.by_id id)))
+      Core.Experiments.ids
+  in
+  ( "core.experiments",
+    [
+      tc "tables reproducible" test_tables_reproducible;
+      tc "all ids resolvable" test_ids_complete;
+    ] )
+
+let suites = suites @ [ determinism_suite ]

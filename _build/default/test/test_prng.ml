@@ -1,0 +1,347 @@
+(* Unit tests for the prng library: determinism, stream independence,
+   range discipline, and coarse distributional sanity. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Splitmix64 ----------------------------------------------------- *)
+
+let test_splitmix_deterministic () =
+  let a = Prng.Splitmix64.create 12345L in
+  let b = Prng.Splitmix64.create 12345L in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "output %d" i)
+      (Prng.Splitmix64.next a) (Prng.Splitmix64.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Prng.Splitmix64.create 1L in
+  let b = Prng.Splitmix64.create 2L in
+  check_bool "different seeds diverge"
+    false
+    (Prng.Splitmix64.next a = Prng.Splitmix64.next b)
+
+let test_splitmix_mix_injective_sample () =
+  let seen = Hashtbl.create 4096 in
+  for i = 0 to 9999 do
+    let v = Prng.Splitmix64.mix (Int64.of_int i) in
+    check_bool "no collision in 10k mixes" false (Hashtbl.mem seen v);
+    Hashtbl.replace seen v ()
+  done
+
+let test_splitmix_advances () =
+  let g = Prng.Splitmix64.create 7L in
+  let x = Prng.Splitmix64.next g in
+  let y = Prng.Splitmix64.next g in
+  check_bool "consecutive outputs differ" false (x = y)
+
+(* --- Xoshiro256 ------------------------------------------------------ *)
+
+let test_xoshiro_zero_state_rejected () =
+  Alcotest.check_raises "all-zero state"
+    (Invalid_argument "Xoshiro256.of_state: all-zero state") (fun () ->
+      ignore (Prng.Xoshiro256.of_state 0L 0L 0L 0L))
+
+let test_xoshiro_copy_replays () =
+  let g = Prng.Xoshiro256.of_seed 99L in
+  ignore (Prng.Xoshiro256.next g);
+  let h = Prng.Xoshiro256.copy g in
+  for i = 1 to 50 do
+    Alcotest.(check int64)
+      (Printf.sprintf "replay %d" i)
+      (Prng.Xoshiro256.next g) (Prng.Xoshiro256.next h)
+  done
+
+let test_xoshiro_jump_diverges () =
+  let g = Prng.Xoshiro256.of_seed 5L in
+  let h = Prng.Xoshiro256.copy g in
+  Prng.Xoshiro256.jump h;
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Xoshiro256.next g = Prng.Xoshiro256.next h then incr equal
+  done;
+  check_bool "jumped stream decorrelated" true (!equal <= 1)
+
+let test_xoshiro_sign_bit_balance () =
+  let g = Prng.Xoshiro256.of_seed 2024L in
+  let negatives = ref 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    if Int64.compare (Prng.Xoshiro256.next g) 0L < 0 then incr negatives
+  done;
+  let p = float_of_int !negatives /. float_of_int draws in
+  check_bool "sign bit near 1/2" true (p > 0.48 && p < 0.52)
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Prng.Rng.create 11 in
+  let b = Prng.Rng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.Rng.bits64 a) (Prng.Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let g = Prng.Rng.create 3 in
+  let a = Prng.Rng.split g in
+  let b = Prng.Rng.split g in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Rng.bits64 a = Prng.Rng.bits64 b then incr equal
+  done;
+  check_bool "split streams differ" true (!equal <= 1)
+
+let test_rng_split_n () =
+  let g = Prng.Rng.create 4 in
+  let streams = Prng.Rng.split_n g 8 in
+  check_int "eight streams" 8 (Array.length streams);
+  let firsts = Array.map Prng.Rng.bits64 streams in
+  let distinct = Array.to_list firsts |> List.sort_uniq compare |> List.length in
+  check_int "all first draws distinct" 8 distinct
+
+let test_rng_int_in_range () =
+  let g = Prng.Rng.create 5 in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 500 do
+        let v = Prng.Rng.int g bound in
+        check_bool
+          (Printf.sprintf "0 <= v < %d" bound)
+          true
+          (v >= 0 && v < bound)
+      done)
+    [ 1; 2; 3; 7; 8; 100; 1 lsl 20 ]
+
+let test_rng_int_covers_small_range () =
+  let g = Prng.Rng.create 6 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.Rng.int g 5) <- true
+  done;
+  Array.iteri
+    (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s)
+    seen
+
+let test_rng_int_invalid_bound () =
+  let g = Prng.Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prng.Rng.int g 0))
+
+let test_rng_int_in () =
+  let g = Prng.Rng.create 8 in
+  for _ = 1 to 500 do
+    let v = Prng.Rng.int_in g (-5) 5 in
+    check_bool "in [-5, 5]" true (v >= -5 && v <= 5)
+  done;
+  check_int "degenerate range" 9 (Prng.Rng.int_in g 9 9);
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Prng.Rng.int_in g 3 2))
+
+let test_rng_float_range () =
+  let g = Prng.Rng.create 9 in
+  for _ = 1 to 2000 do
+    let x = Prng.Rng.float g in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_float_mean () =
+  let g = Prng.Rng.create 10 in
+  let total = ref 0.0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    total := !total +. Prng.Rng.float g
+  done;
+  let mean = !total /. float_of_int draws in
+  check_bool "mean near 1/2" true (mean > 0.48 && mean < 0.52)
+
+let test_rng_bernoulli_extremes () =
+  let g = Prng.Rng.create 11 in
+  for _ = 1 to 50 do
+    check_bool "p=1 always true" true (Prng.Rng.bernoulli g 1.0);
+    check_bool "p=0 always false" false (Prng.Rng.bernoulli g 0.0)
+  done
+
+let test_rng_bernoulli_frequency () =
+  let g = Prng.Rng.create 12 in
+  let hits = ref 0 in
+  let draws = 20_000 in
+  for _ = 1 to draws do
+    if Prng.Rng.bernoulli g 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int draws in
+  check_bool "frequency near 0.3" true (p > 0.28 && p < 0.32)
+
+let test_rng_bit_values () =
+  let g = Prng.Rng.create 13 in
+  for _ = 1 to 200 do
+    let b = Prng.Rng.bit g in
+    check_bool "bit in {0,1}" true (b = 0 || b = 1)
+  done
+
+(* --- Sample ----------------------------------------------------------- *)
+
+let test_shuffle_preserves_multiset () =
+  let g = Prng.Rng.create 20 in
+  let a = Array.init 50 (fun i -> i mod 7) in
+  let before = List.sort compare (Array.to_list a) in
+  Prng.Sample.shuffle g a;
+  let after = List.sort compare (Array.to_list a) in
+  Alcotest.(check (list int)) "same multiset" before after
+
+let test_permutation_is_permutation () =
+  let g = Prng.Rng.create 21 in
+  let p = Prng.Sample.permutation g 40 in
+  let sorted = List.sort compare (Array.to_list p) in
+  Alcotest.(check (list int)) "0..39" (List.init 40 Fun.id) sorted
+
+let test_permutation_not_identity_usually () =
+  let g = Prng.Rng.create 22 in
+  let identity = Array.init 40 Fun.id in
+  let different = ref 0 in
+  for _ = 1 to 10 do
+    if Prng.Sample.permutation g 40 <> identity then incr different
+  done;
+  check_bool "shuffles actually move things" true (!different >= 9)
+
+let test_choose_k_properties () =
+  let g = Prng.Rng.create 23 in
+  List.iter
+    (fun (n, k) ->
+      let s = Prng.Sample.choose_k g n k in
+      check_int "size" k (Array.length s);
+      let l = Array.to_list s in
+      check_int "distinct" k (List.length (List.sort_uniq compare l));
+      List.iter
+        (fun v -> check_bool "in range" true (v >= 0 && v < n))
+        l)
+    [ (10, 0); (10, 3); (10, 10); (1, 1); (100, 50) ]
+
+let test_choose_k_invalid () =
+  let g = Prng.Rng.create 24 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Sample.choose_k") (fun () ->
+      ignore (Prng.Sample.choose_k g 3 4));
+  Alcotest.check_raises "k < 0" (Invalid_argument "Sample.choose_k") (fun () ->
+      ignore (Prng.Sample.choose_k g 3 (-1)))
+
+let test_binomial_extremes () =
+  let g = Prng.Rng.create 25 in
+  check_int "p=0" 0 (Prng.Sample.binomial g 100 0.0);
+  check_int "p=1" 100 (Prng.Sample.binomial g 100 1.0);
+  check_int "n=0" 0 (Prng.Sample.binomial g 0 0.5)
+
+let test_binomial_range_and_mean () =
+  let g = Prng.Rng.create 26 in
+  let n = 60 and p = 0.4 in
+  let total = ref 0 in
+  let draws = 3000 in
+  for _ = 1 to draws do
+    let v = Prng.Sample.binomial g n p in
+    check_bool "in [0,n]" true (v >= 0 && v <= n);
+    total := !total + v
+  done;
+  let mean = float_of_int !total /. float_of_int draws in
+  check_bool "mean near np" true (Float.abs (mean -. 24.0) < 1.0)
+
+let test_geometric () =
+  let g = Prng.Rng.create 27 in
+  check_int "p=1 gives 0" 0 (Prng.Sample.geometric g 1.0);
+  let total = ref 0 in
+  let draws = 5000 in
+  for _ = 1 to draws do
+    let v = Prng.Sample.geometric g 0.5 in
+    check_bool "non-negative" true (v >= 0);
+    total := !total + v
+  done;
+  let mean = float_of_int !total /. float_of_int draws in
+  check_bool "mean near (1-p)/p = 1" true (Float.abs (mean -. 1.0) < 0.15)
+
+let test_exponential () =
+  let g = Prng.Rng.create 28 in
+  let total = ref 0.0 in
+  let draws = 5000 in
+  for _ = 1 to draws do
+    let v = Prng.Sample.exponential g 2.0 in
+    check_bool "positive" true (v >= 0.0);
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int draws in
+  check_bool "mean near 1/lambda" true (Float.abs (mean -. 0.5) < 0.05)
+
+let test_categorical () =
+  let g = Prng.Rng.create 29 in
+  let w = [| 0.0; 2.0; 0.0; 1.0 |] in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 3000 do
+    let i = Prng.Sample.categorical g w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_int "zero-weight index never drawn" 0 counts.(0);
+  check_int "zero-weight index never drawn" 0 counts.(2);
+  let ratio = float_of_int counts.(1) /. float_of_int counts.(3) in
+  check_bool "2:1 ratio approx" true (ratio > 1.7 && ratio < 2.4)
+
+let test_categorical_invalid () =
+  let g = Prng.Rng.create 30 in
+  Alcotest.check_raises "zero sum"
+    (Invalid_argument
+       "Sample.categorical: weights must sum to a positive finite value")
+    (fun () -> ignore (Prng.Sample.categorical g [| 0.0; 0.0 |]))
+
+let test_random_bits () =
+  let g = Prng.Rng.create 31 in
+  let bits = Prng.Sample.random_bits g 200 in
+  check_int "length" 200 (Array.length bits);
+  Array.iter (fun b -> check_bool "bit" true (b = 0 || b = 1)) bits;
+  let ones = Array.fold_left ( + ) 0 bits in
+  check_bool "roughly balanced" true (ones > 60 && ones < 140)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "prng.splitmix64",
+      [
+        tc "deterministic" test_splitmix_deterministic;
+        tc "seed sensitivity" test_splitmix_seed_sensitivity;
+        tc "mix injective on sample" test_splitmix_mix_injective_sample;
+        tc "advances" test_splitmix_advances;
+      ] );
+    ( "prng.xoshiro256",
+      [
+        tc "zero state rejected" test_xoshiro_zero_state_rejected;
+        tc "copy replays" test_xoshiro_copy_replays;
+        tc "jump diverges" test_xoshiro_jump_diverges;
+        tc "sign bit balance" test_xoshiro_sign_bit_balance;
+      ] );
+    ( "prng.rng",
+      [
+        tc "deterministic" test_rng_deterministic;
+        tc "split independence" test_rng_split_independent;
+        tc "split_n" test_rng_split_n;
+        tc "int range" test_rng_int_in_range;
+        tc "int covers range" test_rng_int_covers_small_range;
+        tc "int invalid bound" test_rng_int_invalid_bound;
+        tc "int_in" test_rng_int_in;
+        tc "float range" test_rng_float_range;
+        tc "float mean" test_rng_float_mean;
+        tc "bernoulli extremes" test_rng_bernoulli_extremes;
+        tc "bernoulli frequency" test_rng_bernoulli_frequency;
+        tc "bit values" test_rng_bit_values;
+      ] );
+    ( "prng.sample",
+      [
+        tc "shuffle multiset" test_shuffle_preserves_multiset;
+        tc "permutation valid" test_permutation_is_permutation;
+        tc "permutation moves" test_permutation_not_identity_usually;
+        tc "choose_k properties" test_choose_k_properties;
+        tc "choose_k invalid" test_choose_k_invalid;
+        tc "binomial extremes" test_binomial_extremes;
+        tc "binomial range and mean" test_binomial_range_and_mean;
+        tc "geometric" test_geometric;
+        tc "exponential" test_exponential;
+        tc "categorical" test_categorical;
+        tc "categorical invalid" test_categorical_invalid;
+        tc "random bits" test_random_bits;
+      ] );
+  ]
