@@ -3,9 +3,14 @@
    Part 1 — experiment regeneration: prints the table for every reproduced
    paper claim (E1-E12, see EXPERIMENTS.md). Pass "full" for the full
    trial counts used in EXPERIMENTS.md; the default "quick" profile keeps
-   the whole run under a minute.
+   the whole run under a minute. "--jobs N" sets the worker-domain count
+   for the trial loops; every table is bit-identical for every N.
 
-   Part 2 — bechamel microbenchmarks: one Test.make per experiment table
+   Part 2 — parallel throughput: times one run_trials workload at jobs = 1
+   and jobs = max, checks the summaries match, and writes trials/sec to
+   results/bench_parallel.json.
+
+   Part 3 — bechamel microbenchmarks: one Test.make per experiment table
    (timing its regeneration at the quick profile) plus the simulator's hot
    paths, reported as ns/run with the OLS r^2. *)
 
@@ -18,7 +23,7 @@ let seed = 42
 (* Part 1: experiment tables                                           *)
 (* ------------------------------------------------------------------ *)
 
-let print_tables profile =
+let print_tables ~jobs profile =
   let label =
     match profile with Core.Experiments.Quick -> "quick" | Core.Experiments.Full -> "full"
   in
@@ -29,10 +34,63 @@ let print_tables profile =
     (fun tbl ->
       print_endline (Stats.Table.render tbl);
       print_newline ())
-    (Core.Experiments.all profile ~seed)
+    (Core.Experiments.all ~jobs profile ~seed)
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: bechamel                                                    *)
+(* Part 2: parallel throughput                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_bench () =
+  let n = 96 and trials = 200 in
+  let protocol = Core.Synran.protocol n in
+  let run jobs =
+    let start = Unix.gettimeofday () in
+    let s =
+      Sim.Runner.run_trials ~max_rounds:2000 ~jobs ~trials ~seed
+        ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+        ~t:(n - 1) protocol
+        (fun () ->
+          Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+            ~bit_of_msg:Core.Synran.bit_of_msg ())
+    in
+    let dt = Unix.gettimeofday () -. start in
+    (s, dt)
+  in
+  let jobs_max = Stdlib.max 2 (Sim.Parallel.default_jobs ()) in
+  let s1, dt1 = run 1 in
+  let sm, dtm = run jobs_max in
+  let identical =
+    Sim.Runner.mean_rounds s1 = Sim.Runner.mean_rounds sm
+    && Stats.Histogram.bins s1.Sim.Runner.rounds_hist
+       = Stats.Histogram.bins sm.Sim.Runner.rounds_hist
+  in
+  if not identical then
+    prerr_endline "WARNING: parallel summary differs from sequential run";
+  let tps dt = float_of_int trials /. dt in
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let oc = open_out "results/bench_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"synran n=%d t=%d vs band-control, %d trials, seed \
+     %d\",\n\
+    \  \"runs\": [\n\
+    \    { \"jobs\": 1, \"seconds\": %.3f, \"trials_per_sec\": %.2f },\n\
+    \    { \"jobs\": %d, \"seconds\": %.3f, \"trials_per_sec\": %.2f }\n\
+    \  ],\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"summaries_identical\": %b\n\
+     }\n"
+    n (n - 1) trials seed dt1 (tps dt1) jobs_max dtm (tps dtm) (dt1 /. dtm)
+    identical;
+  close_out oc;
+  Printf.printf
+    "parallel throughput: %.1f trials/sec at jobs=1, %.1f at jobs=%d \
+     (speedup %.2fx, summaries %s) -> results/bench_parallel.json\n\n"
+    (tps dt1) (tps dtm) jobs_max (dt1 /. dtm)
+    (if identical then "identical" else "DIFFER")
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: bechamel                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let experiment_tests =
@@ -148,5 +206,19 @@ let () =
   in
   let tables_only = List.mem "--tables-only" args in
   let micro_only = List.mem "--micro-only" args in
-  if not micro_only then print_tables profile;
-  if not tables_only then run_bechamel ()
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> (
+          match int_of_string_opt v with
+          | Some j when j >= 1 -> j
+          | _ -> failwith ("bad --jobs value " ^ v))
+      | _ :: rest -> find rest
+      | [] -> Sim.Parallel.default_jobs ()
+    in
+    find args
+  in
+  if not micro_only then print_tables ~jobs profile;
+  if not tables_only then begin
+    parallel_bench ();
+    run_bechamel ()
+  end

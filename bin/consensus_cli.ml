@@ -4,7 +4,7 @@
      run          one protocol x adversary configuration, many trials
      trace        one execution with a per-round trace dump
      coinflip     one-round coin-flipping control measurement (Section 2)
-     experiments  regenerate the EXPERIMENTS.md tables (E1-E8)
+     experiments  regenerate the EXPERIMENTS.md tables (E1-E12)
      bounds       print the paper's closed-form bounds for given n, t *)
 
 open Cmdliner
@@ -14,6 +14,16 @@ let seed_arg =
 
 let n_arg =
   Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Sim.Parallel.default_jobs ())
+    & info [ "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for the trial loops (default: the machine's \
+           recommended domain count). Results are bit-identical for every \
+           value.")
 
 let t_arg =
   Arg.(
@@ -121,24 +131,24 @@ let print_summary name (s : Sim.Runner.summary) =
     (Stats.Histogram.render ~width:30 s.Sim.Runner.rounds_hist)
 
 let run_cmd =
-  let run n t trials seed rules adv_name proto_name inputs =
+  let run n t trials seed jobs rules adv_name proto_name inputs =
     let t = Option.value t ~default:(n - 1) in
     let gen = gen_of_inputs inputs ~n in
     match proto_name with
     | "synran" | "leader" ->
-        let adversary = adversary_of_name adv_name ~rules ~n ~t ~seed in
+        let make_adversary () = adversary_of_name adv_name ~rules ~n ~t ~seed in
         let coin =
           if proto_name = "leader" then Core.Synran.Leader_priority
           else Core.Synran.Local_flip
         in
         let protocol = Core.Synran.protocol ~rules ~coin n in
         let s =
-          Sim.Runner.run_trials ~max_rounds:2000 ~trials ~seed ~gen_inputs:gen
-            ~t protocol adversary
+          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ~trials ~seed
+            ~gen_inputs:gen ~t protocol make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
-             adversary.Sim.Adversary.name n t)
+             (make_adversary ()).Sim.Adversary.name n t)
           s
     | _ ->
         (* The bit-reading adversaries target SynRan-shaped protocols; fall
@@ -148,20 +158,20 @@ let run_cmd =
           | "band" | "voting" | "leader-killer" -> "drip"
           | other -> other
         in
-        let adversary = generic_adversary_of_name adv_name ~n ~t ~seed in
+        let make_adversary () = generic_adversary_of_name adv_name ~n ~t ~seed in
         let protocol = Baselines.Floodset.protocol ~rounds:(t + 1) () in
         let s =
-          Sim.Runner.run_trials ~max_rounds:(t + 2) ~trials ~seed
-            ~gen_inputs:gen ~t protocol adversary
+          Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ~trials ~seed
+            ~gen_inputs:gen ~t protocol make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
-             adversary.Sim.Adversary.name n t)
+             (make_adversary ()).Sim.Adversary.name n t)
           s
   in
   let term =
     Term.(
-      const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ rules_arg
+      const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ jobs_arg $ rules_arg
       $ adversary_arg $ protocol_arg $ inputs_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run many trials of a protocol under an adversary")
@@ -199,7 +209,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"Run one execution and dump the round trace") term
 
 let coinflip_cmd =
-  let run n seed trials budget =
+  let run n seed jobs trials budget =
     let budget =
       Option.value budget
         ~default:(int_of_float (Float.ceil (Coinflip.Bounds.h n)))
@@ -209,8 +219,8 @@ let coinflip_cmd =
     List.iter
       (fun game ->
         let best =
-          Coinflip.Control.best_controllable_outcome ~trials ~seed ~budget
-            ~strategy:Coinflip.Strategy.best_available game
+          Coinflip.Control.best_controllable_outcome ~trials ~jobs ~seed
+            ~budget ~strategy:Coinflip.Strategy.best_available game
         in
         Printf.printf "%-22s best outcome %d forced with p=%.4f (target > %.4f): %s\n"
           game.Coinflip.Game.name best.Coinflip.Control.target
@@ -225,25 +235,27 @@ let coinflip_cmd =
       & opt (some int) None
       & info [ "budget" ] ~docv:"B" ~doc:"Adversary budget (default 4 sqrt(n ln n)).")
   in
-  let term = Term.(const run $ n_arg $ seed_arg $ trials_arg $ budget_arg) in
+  let term =
+    Term.(const run $ n_arg $ seed_arg $ jobs_arg $ trials_arg $ budget_arg)
+  in
   Cmd.v
     (Cmd.info "coinflip" ~doc:"Measure control of one-round coin-flipping games")
     term
 
 let experiments_cmd =
-  let run profile seed which csv =
+  let run profile seed jobs which csv =
     let profile =
       Option.value (Core.Experiments.profile_of_string profile)
         ~default:Core.Experiments.Quick
     in
     let tables =
       match which with
-      | [] -> Core.Experiments.all profile ~seed
+      | [] -> Core.Experiments.all ~jobs profile ~seed
       | ids ->
           List.map
             (fun id ->
               match Core.Experiments.by_id id with
-              | Some f -> f profile ~seed
+              | Some f -> f ~jobs profile ~seed
               | None -> failwith ("unknown experiment id " ^ id))
             ids
     in
@@ -264,14 +276,16 @@ let experiments_cmd =
   let which_arg =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"IDS" ~doc:"Experiment ids (e1..e8); all if omitted.")
+      & info [] ~docv:"IDS" ~doc:"Experiment ids (e1..e12); all if omitted.")
   in
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
   in
-  let term = Term.(const run $ profile_arg $ seed_arg $ which_arg $ csv_arg) in
+  let term =
+    Term.(const run $ profile_arg $ seed_arg $ jobs_arg $ which_arg $ csv_arg)
+  in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1-E8)")
+    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1-E12)")
     term
 
 let bounds_cmd =

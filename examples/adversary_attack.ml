@@ -10,12 +10,12 @@ let n = 128
 let t = n - 1
 let trials = 60
 
-let measure name adversary =
+let measure name make_adversary =
   let protocol = Core.Synran.protocol n in
   let s =
     Sim.Runner.run_trials ~max_rounds:2000 ~trials ~seed:7
       ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-      ~t protocol adversary
+      ~t protocol make_adversary
   in
   Printf.printf "  %-28s mean %6.2f rounds   (max %3.0f, kills %6.1f)%s\n" name
     (Sim.Runner.mean_rounds s)
@@ -27,15 +27,17 @@ let measure name adversary =
 let () =
   Printf.printf "SynRan, n = %d, adversary budget t = %d, %d trials each\n\n" n
     t trials;
-  ignore (measure "null (no failures)" Sim.Adversary.null);
-  ignore (measure "random crashes (p = 0.05)" (Baselines.Adversaries.random_crash ~p:0.05));
+  ignore (measure "null (no failures)" (fun () -> Sim.Adversary.null));
   ignore
-    (measure "oblivious random schedule"
-       (Baselines.Adversaries.static_random ~seed:7 ~n ~budget:t ~horizon:8));
+    (measure "random crashes (p = 0.05)" (fun () ->
+         Baselines.Adversaries.random_crash ~p:0.05));
   ignore
-    (measure "adaptive band control"
-       (Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
-          ~bit_of_msg:Core.Synran.bit_of_msg ()));
+    (measure "oblivious random schedule" (fun () ->
+         Baselines.Adversaries.static_random ~seed:7 ~n ~budget:t ~horizon:8));
+  ignore
+    (measure "adaptive band control" (fun () ->
+         Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+           ~bit_of_msg:Core.Synran.bit_of_msg ()));
   Printf.printf "\ntheory: Theorem 1 forces >= %.1f rounds whp; Theorem 3 shape is %.1f\n"
     (Core.Theory.lower_bound_rounds ~n ~t)
     (Core.Theory.tight_bound_shape ~n ~t);

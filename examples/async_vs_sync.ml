@@ -50,14 +50,13 @@ let () =
   Printf.printf "  %4s  %12s  %16s\n" "n" "mean rounds" "sqrt(n/log n)";
   List.iter
     (fun n ->
-      let adversary =
-        Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
-          ~bit_of_msg:Core.Synran.bit_of_msg ()
-      in
       let s =
         Sim.Runner.run_trials ~max_rounds:2000 ~trials:30 ~seed:11
           ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-          ~t:(n - 1) (Core.Synran.protocol n) adversary
+          ~t:(n - 1) (Core.Synran.protocol n)
+          (fun () ->
+            Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+              ~bit_of_msg:Core.Synran.bit_of_msg ())
       in
       Printf.printf "  %4d  %12.1f  %16.2f\n" n (Sim.Runner.mean_rounds s)
         (Core.Theory.upper_bound_large_t_shape ~n))

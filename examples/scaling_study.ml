@@ -9,7 +9,7 @@ let () =
     if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60
   in
   let ns = [ 32; 48; 64; 96; 128; 192; 256 ] in
-  let adversary =
+  let adversary () =
     Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
       ~bit_of_msg:Core.Synran.bit_of_msg ()
   in

@@ -6,27 +6,38 @@ type estimate = {
   ci : Stats.Ci.interval;
 }
 
-let control_probability ?(trials = 1000) ~seed ~budget ~target ~strategy game =
+let control_probability ?(trials = 1000) ?jobs ~seed ~budget ~target ~strategy
+    game =
   if trials <= 0 then invalid_arg "Control.control_probability: trials";
-  let rng = Prng.Rng.create seed in
-  let forced = ref 0 in
-  for _ = 1 to trials do
-    let values = game.Game.sample rng in
-    let outcome = Strategy.forced_outcome game values ~strategy ~budget ~target in
-    if outcome = target then incr forced
-  done;
+  (* Trial [i] draws from an RNG derived from [(seed, i)], so the estimate
+     is identical for every worker count (the count is order-independent
+     anyway, but the samples themselves must not depend on scheduling). *)
+  let forced =
+    Sim.Parallel.fold_chunks ?jobs ~n:trials
+      ~create:(fun () -> ref 0)
+      ~work:(fun index acc ->
+        let rng = Prng.Rng.of_seed_index ~seed ~index in
+        let values = game.Game.sample rng in
+        let outcome =
+          Strategy.forced_outcome game values ~strategy ~budget ~target
+        in
+        if outcome = target then incr acc)
+      ~merge:(fun a b -> ref (!a + !b))
+      ()
+  in
+  let forced = !forced in
   {
     target;
     trials;
-    forced = !forced;
-    proportion = Stats.Ci.proportion ~successes:!forced ~trials;
-    ci = Stats.Ci.wilson ~successes:!forced trials;
+    forced;
+    proportion = Stats.Ci.proportion ~successes:forced ~trials;
+    ci = Stats.Ci.wilson ~successes:forced trials;
   }
 
-let best_controllable_outcome ?trials ~seed ~budget ~strategy game =
+let best_controllable_outcome ?trials ?jobs ~seed ~budget ~strategy game =
   let estimates =
     List.init game.Game.k (fun target ->
-        control_probability ?trials ~seed:(seed + target) ~budget ~target
+        control_probability ?trials ?jobs ~seed:(seed + target) ~budget ~target
           ~strategy game)
   in
   match estimates with

@@ -16,6 +16,7 @@ type estimate = {
 
 val control_probability :
   ?trials:int ->
+  ?jobs:int ->
   seed:int ->
   budget:int ->
   target:int ->
@@ -23,10 +24,14 @@ val control_probability :
   Game.t ->
   estimate
 (** Monte-Carlo estimate (default 1000 trials) of the probability that the
-    strategy forces [target] with the given budget. *)
+    strategy forces [target] with the given budget. Trials run across
+    [jobs] domains (default {!Sim.Parallel.default_jobs}); trial [i]'s RNG
+    is derived from [(seed, i)] via {!Prng.Rng.of_seed_index}, so the
+    estimate is identical for every [jobs]. *)
 
 val best_controllable_outcome :
   ?trials:int ->
+  ?jobs:int ->
   seed:int ->
   budget:int ->
   strategy:Strategy.t ->

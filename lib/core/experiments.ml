@@ -11,7 +11,7 @@ let pick p ~quick ~full = match p with Quick -> quick | Full -> full
 (* E1: one-round coin-flipping control (Corollary 2.2)                  *)
 (* ------------------------------------------------------------------ *)
 
-let e1_coin_control p ~seed =
+let e1_coin_control ?jobs p ~seed =
   let table =
     Stats.Table.create
       ~title:
@@ -46,7 +46,7 @@ let e1_coin_control p ~seed =
             (fun budget ->
               let budget = Stdlib.min budget n in
               let est =
-                Coinflip.Control.best_controllable_outcome ~trials ~seed
+                Coinflip.Control.best_controllable_outcome ~trials ?jobs ~seed
                   ~budget ~strategy:Coinflip.Strategy.best_available game
               in
               Stats.Table.add_row table
@@ -64,7 +64,8 @@ let e1_coin_control p ~seed =
       (* The one-side-bias headline: majority0 cannot be pushed to 1 even
          with the whole population as budget. *)
       let est =
-        Coinflip.Control.control_probability ~trials ~seed ~budget:n ~target:1
+        Coinflip.Control.control_probability ~trials ?jobs ~seed ~budget:n
+          ~target:1
           ~strategy:Coinflip.Strategy.best_available
           (Coinflip.Games.majority_default_zero n)
       in
@@ -88,7 +89,7 @@ let e1_coin_control p ~seed =
         (fun budget ->
           let budget = Stdlib.min budget n in
           let est =
-            Coinflip.Control.best_controllable_outcome ~trials ~seed ~budget
+            Coinflip.Control.best_controllable_outcome ~trials ?jobs ~seed ~budget
               ~strategy:Coinflip.Strategy.best_available game
           in
           Stats.Table.add_row table
@@ -150,12 +151,12 @@ let e2_tail_bound p =
 (* Shared runners for the protocol experiments                          *)
 (* ------------------------------------------------------------------ *)
 
-let synran_summary ?(rules = Onesided.paper) ?(max_rounds = 2000) ~n ~t ~trials
-    ~seed adversary =
+let synran_summary ?(rules = Onesided.paper) ?(max_rounds = 2000) ?jobs ~n ~t
+    ~trials ~seed make_adversary =
   let protocol = Synran.protocol ~rules n in
-  Sim.Runner.run_trials ~max_rounds ~trials ~seed
+  Sim.Runner.run_trials ~max_rounds ?jobs ~trials ~seed
     ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-    ~t protocol adversary
+    ~t protocol make_adversary
 
 let band ?(config = Lb_adversary.default_config) adversary_rules =
   Lb_adversary.band_control ~config ~rules:adversary_rules
@@ -165,7 +166,7 @@ let band ?(config = Lb_adversary.default_config) adversary_rules =
 (* E3: rounds vs n at t = n-1 (Theorem 2)                              *)
 (* ------------------------------------------------------------------ *)
 
-let e3_scaling_n p ~seed =
+let e3_scaling_n ?jobs p ~seed =
   let table =
     Stats.Table.create
       ~title:
@@ -183,10 +184,13 @@ let e3_scaling_n p ~seed =
     List.map
       (fun n ->
         let t = n - 1 in
-        let strongest = synran_summary ~n ~t ~trials ~seed (band Onesided.paper) in
+        let strongest =
+          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
+              band Onesided.paper)
+        in
         let voting =
-          synran_summary ~n ~t ~trials ~seed
-            (band ~config:Lb_adversary.voting_config Onesided.paper)
+          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
+              band ~config:Lb_adversary.voting_config Onesided.paper)
         in
         let shape = Theory.upper_bound_large_t_shape ~n in
         (n, t, strongest, voting, shape))
@@ -230,7 +234,7 @@ let e3_scaling_n p ~seed =
 (* E4: rounds vs t at fixed n (Theorem 3)                              *)
 (* ------------------------------------------------------------------ *)
 
-let e4_scaling_t p ~seed =
+let e4_scaling_t ?jobs p ~seed =
   let n = pick p ~quick:96 ~full:256 in
   let table =
     Stats.Table.create
@@ -254,10 +258,13 @@ let e4_scaling_t p ~seed =
   let rows =
     List.map
       (fun t ->
-        let strongest = synran_summary ~n ~t ~trials ~seed (band Onesided.paper) in
+        let strongest =
+          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
+              band Onesided.paper)
+        in
         let voting =
-          synran_summary ~n ~t ~trials ~seed
-            (band ~config:Lb_adversary.voting_config Onesided.paper)
+          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
+              band ~config:Lb_adversary.voting_config Onesided.paper)
         in
         (t, strongest, voting, Theory.tight_bound_shape ~n ~t))
       ts
@@ -297,7 +304,7 @@ let e4_scaling_t p ~seed =
 (* E5: small-n adversary comparison (Theorem 1)                        *)
 (* ------------------------------------------------------------------ *)
 
-let e5_small_n_adversaries p ~seed =
+let e5_small_n_adversaries ?jobs p ~seed =
   let n = pick p ~quick:10 ~full:16 in
   let t = n - 2 in
   let table =
@@ -314,10 +321,10 @@ let e5_small_n_adversaries p ~seed =
   in
   let trials = pick p ~quick:20 ~full:60 in
   let protocol = Synran.protocol n in
-  let run_simple adversary =
-    Sim.Runner.run_trials ~max_rounds:500 ~trials ~seed
+  let run_simple make_adversary =
+    Sim.Runner.run_trials ~max_rounds:500 ?jobs ~trials ~seed
       ~gen_inputs:(Sim.Runner.input_gen_split ~n)
-      ~t protocol adversary
+      ~t protocol make_adversary
   in
   (* p10 = the round count exceeded in 90% of runs: the "with high
      probability" phrasing of Theorem 1, empirically. *)
@@ -337,35 +344,42 @@ let e5_small_n_adversaries p ~seed =
         Stats.Table.Float (Stats.Welford.mean s.Sim.Runner.kills);
       ]
   in
-  add_summary "null" (run_simple Sim.Adversary.null);
-  add_summary "random-crash p=0.2" (run_simple (Baselines.Adversaries.random_crash ~p:0.2));
+  add_summary "null" (run_simple (fun () -> Sim.Adversary.null));
+  add_summary "random-crash p=0.2"
+    (run_simple (fun () -> Baselines.Adversaries.random_crash ~p:0.2));
   add_summary "static-random"
-    (run_simple (Baselines.Adversaries.static_random ~seed ~n ~budget:t ~horizon:8));
+    (run_simple (fun () ->
+         Baselines.Adversaries.static_random ~seed ~n ~budget:t ~horizon:8));
   add_summary "drip 1/round"
-    (run_simple (Baselines.Adversaries.drip ~per_round:1));
-  let small_band =
+    (run_simple (fun () -> Baselines.Adversaries.drip ~per_round:1));
+  let small_band () =
     Lb_adversary.band_control
       ~config:{ Lb_adversary.default_config with min_active = 4 }
       ~rules:Onesided.paper ~bit_of_msg:Synran.bit_of_msg ()
   in
   add_summary "band-control" (run_simple small_band);
-  (* Monte-Carlo valency adversary: run its own loop. *)
+  (* Monte-Carlo valency adversary: its own trial loop, with the same
+     per-index seeding discipline as Runner so the summary is identical
+     for every worker count. *)
   let mc_trials = pick p ~quick:6 ~full:20 in
-  let master = Prng.Rng.create (seed + 17) in
-  let rounds = Stats.Welford.create () in
-  let kills = Stats.Welford.create () in
-  for _ = 1 to mc_trials do
-    let rng = Prng.Rng.split master in
-    let inputs = Sim.Runner.input_gen_split ~n rng in
-    let o =
-      Lb_adversary.force_long_execution ~max_rounds:300 protocol ~inputs ~t
-        ~rng
-    in
-    (match o.Sim.Engine.rounds_to_decide with
-    | Some r -> Stats.Welford.add_int rounds r
-    | None -> Stats.Welford.add_int rounds o.Sim.Engine.rounds_executed);
-    Stats.Welford.add_int kills o.Sim.Engine.kills_used
-  done;
+  let rounds, kills =
+    Sim.Parallel.fold_chunks ?jobs ~n:mc_trials
+      ~create:(fun () -> (Stats.Welford.create (), Stats.Welford.create ()))
+      ~work:(fun index (rounds, kills) ->
+        let rng = Prng.Rng.of_seed_index ~seed:(seed + 17) ~index in
+        let inputs = Sim.Runner.input_gen_split ~n rng in
+        let o =
+          Lb_adversary.force_long_execution ~max_rounds:300 protocol ~inputs
+            ~t ~rng
+        in
+        (match o.Sim.Engine.rounds_to_decide with
+        | Some r -> Stats.Welford.add_int rounds r
+        | None -> Stats.Welford.add_int rounds o.Sim.Engine.rounds_executed);
+        Stats.Welford.add_int kills o.Sim.Engine.kills_used)
+      ~merge:(fun (ra, ka) (rb, kb) ->
+        (Stats.Welford.merge ra rb, Stats.Welford.merge ka kb))
+      ()
+  in
   Stats.Table.add_row table
     [
       Stats.Table.Str "mc-valency";
@@ -390,7 +404,7 @@ let e5_small_n_adversaries p ~seed =
 (* E6: deterministic t+1 vs SynRan (Section 1)                         *)
 (* ------------------------------------------------------------------ *)
 
-let e6_deterministic_crossover p ~seed =
+let e6_deterministic_crossover ?jobs p ~seed =
   let n = pick p ~quick:64 ~full:128 in
   let table =
     Stats.Table.create
@@ -431,13 +445,17 @@ let e6_deterministic_crossover p ~seed =
          t/4 failures materializing it stops far earlier — the classic
          refinement the paper's t+1 strawman admits. *)
       let es_summary =
-        Sim.Runner.run_trials ~max_rounds:(t + 2) ~trials ~seed
+        Sim.Runner.run_trials ~max_rounds:(t + 2) ?jobs ~trials ~seed
           ~gen_inputs:(Sim.Runner.input_gen_random ~n)
           ~t
           (Baselines.Early_stop.protocol ~rounds:(t + 1) ())
-          (Baselines.Adversaries.drip ~per_round:(Stdlib.max 1 (t / 4)))
+          (fun () ->
+            Baselines.Adversaries.drip ~per_round:(Stdlib.max 1 (t / 4)))
       in
-      let s = synran_summary ~n ~t ~trials ~seed (band Onesided.paper) in
+      let s =
+        synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
+            band Onesided.paper)
+      in
       let mean = Sim.Runner.mean_rounds s in
       Stats.Table.add_row table
         [
@@ -455,7 +473,7 @@ let e6_deterministic_crossover p ~seed =
 (* E7: adaptive vs oblivious with the same budget (Section 1.2)         *)
 (* ------------------------------------------------------------------ *)
 
-let e7_nonadaptive p ~seed =
+let e7_nonadaptive ?jobs p ~seed =
   let table =
     Stats.Table.create
       ~title:
@@ -481,11 +499,11 @@ let e7_nonadaptive p ~seed =
         Lb_adversary.leader_killer ~rules:Onesided.paper
           ~bit_of_msg:Synran.bit_of_msg ~prio_of_msg:Synran.prio_of_msg ()
       in
-      let row proto_name protocol adv_name adversary =
+      let row proto_name protocol adv_name make_adversary =
         let s =
-          Sim.Runner.run_trials ~max_rounds:3000 ~trials ~seed
+          Sim.Runner.run_trials ~max_rounds:3000 ?jobs ~trials ~seed
             ~gen_inputs:(Sim.Runner.input_gen_split ~n)
-            ~t protocol adversary
+            ~t protocol make_adversary
         in
         let rounds = Sim.Runner.mean_rounds s in
         let kills = Stats.Welford.mean s.Sim.Runner.kills in
@@ -501,17 +519,17 @@ let e7_nonadaptive p ~seed =
       in
       (* The paper's protocol: oblivious kills are nearly free to survive;
          the adaptive voting attack pays Theta(sqrt(n log n)) per round. *)
-      row "synran" synran "oblivious" (static ());
-      row "synran" synran "voting attack"
-        (band ~config:Lb_adversary.voting_config Onesided.paper);
-      row "synran" synran "strongest" (band Onesided.paper);
-      row "synran" synran "leader-killer" (killer ());
+      row "synran" synran "oblivious" static;
+      row "synran" synran "voting attack" (fun () ->
+          band ~config:Lb_adversary.voting_config Onesided.paper);
+      row "synran" synran "strongest" (fun () -> band Onesided.paper);
+      row "synran" synran "leader-killer" killer;
       (* The CMS89-flavoured leader-coin variant: O(1) rounds against
          anything oblivious, but its coin is a dictator game, so the
          adaptive leader-killer stalls it for ~1-2 kills per round. *)
-      row "leader" leader "null" Sim.Adversary.null;
-      row "leader" leader "oblivious" (static ());
-      row "leader" leader "leader-killer" (killer ()))
+      row "leader" leader "null" (fun () -> Sim.Adversary.null);
+      row "leader" leader "oblivious" static;
+      row "leader" leader "leader-killer" killer)
     ns;
   table
 
@@ -519,7 +537,7 @@ let e7_nonadaptive p ~seed =
 (* E8: rule ablation (Section 4)                                        *)
 (* ------------------------------------------------------------------ *)
 
-let e8_ablation p ~seed =
+let e8_ablation ?jobs p ~seed =
   (* n = 48 on both profiles: the symmetric band's agreement failures are a
      small-population phenomenon (the post-stop thinning must land the
      survivors' 1-count inside the widened flip band). *)
@@ -552,24 +570,34 @@ let e8_ablation p ~seed =
           else []);
     }
   in
-  let scenario rules name gen_inputs adversary =
+  let scenario rules name gen_inputs make_adversary =
     let protocol = Synran.protocol ~rules n in
-    let master = Prng.Rng.create seed in
-    let rounds = Stats.Welford.create () in
-    let kills = Stats.Welford.create () in
-    let non_term = ref 0 and validity = ref 0 and agreement = ref 0 in
-    for _ = 1 to trials do
-      let rng = Prng.Rng.split master in
-      let inputs = gen_inputs rng in
-      let o = Sim.Engine.run ~max_rounds:400 protocol adversary ~inputs ~t ~rng in
-      (match o.Sim.Engine.rounds_to_decide with
-      | Some r -> Stats.Welford.add_int rounds r
-      | None -> incr non_term);
-      Stats.Welford.add_int kills o.Sim.Engine.kills_used;
-      let v = Sim.Checker.check ~inputs o in
-      if not v.Sim.Checker.validity then incr validity;
-      if not v.Sim.Checker.agreement then incr agreement
-    done;
+    let rounds, kills, non_term, validity, agreement =
+      Sim.Parallel.fold_chunks ?jobs ~n:trials
+        ~create:(fun () ->
+          (Stats.Welford.create (), Stats.Welford.create (), ref 0, ref 0, ref 0))
+        ~work:(fun index (rounds, kills, non_term, validity, agreement) ->
+          let rng = Prng.Rng.of_seed_index ~seed ~index in
+          let inputs = gen_inputs rng in
+          let o =
+            Sim.Engine.run ~max_rounds:400 protocol (make_adversary ())
+              ~inputs ~t ~rng
+          in
+          (match o.Sim.Engine.rounds_to_decide with
+          | Some r -> Stats.Welford.add_int rounds r
+          | None -> incr non_term);
+          Stats.Welford.add_int kills o.Sim.Engine.kills_used;
+          let v = Sim.Checker.check ~inputs o in
+          if not v.Sim.Checker.validity then incr validity;
+          if not v.Sim.Checker.agreement then incr agreement)
+        ~merge:(fun (ra, ka, na, va, aa) (rb, kb, nb, vb, ab) ->
+          ( Stats.Welford.merge ra rb,
+            Stats.Welford.merge ka kb,
+            ref (!na + !nb),
+            ref (!va + !vb),
+            ref (!aa + !ab) ))
+        ()
+    in
     Stats.Table.add_row table
       [
         Stats.Table.Str rules.Onesided.label;
@@ -585,14 +613,14 @@ let e8_ablation p ~seed =
     (fun rules ->
       (* Termination speed with no adversary: the symmetric (centred) flip
          band traps the unbiased drift and stalls on its own. *)
-      scenario rules "random, null" (Sim.Runner.input_gen_random ~n)
-        Sim.Adversary.null;
+      scenario rules "random, null" (Sim.Runner.input_gen_random ~n) (fun () ->
+          Sim.Adversary.null);
       (* The voting attack parameterized with the matching rules: under the
          symmetric band the agreement machinery of Lemma 4.2 loses the
          zero-rule backstop. *)
       scenario rules "random, voting attack"
         (Sim.Runner.input_gen_random ~n)
-        (band ~config:Lb_adversary.voting_config rules);
+        (fun () -> band ~config:Lb_adversary.voting_config rules);
       (* Everything enabled: rescues plus stop-delaying stalls. The
          population-thinning stop-kill pattern is what historically exposed
          the symmetric band's agreement breaks (survivors of a stop see the
@@ -600,12 +628,15 @@ let e8_ablation p ~seed =
          the paper's backstop against exactly this). *)
       scenario rules "random, strongest attack"
         (Sim.Runner.input_gen_random ~n)
-        (band ~config:{ Lb_adversary.default_config with desperate = true } rules);
+        (fun () ->
+          band
+            ~config:{ Lb_adversary.default_config with desperate = true }
+            rules);
       (* Unanimous-1 inputs, 70% massacre in round 1: validity stands or
          falls with the zero rule. *)
       scenario rules "all-ones, massacre"
         (Sim.Runner.input_gen_const ~n 1)
-        massacre)
+        (fun () -> massacre))
     variants;
   table
 
@@ -662,7 +693,7 @@ let e9_async_contrast p ~seed =
 (* E10: what weakening the adversary buys (Section 1)                   *)
 (* ------------------------------------------------------------------ *)
 
-let e10_coin_assumptions p ~seed =
+let e10_coin_assumptions ?jobs p ~seed =
   let n = pick p ~quick:96 ~full:192 in
   let t = n - 1 in
   let table =
@@ -686,11 +717,11 @@ let e10_coin_assumptions p ~seed =
   List.iter
     (fun (coin_name, coin) ->
       let protocol = Synran.protocol ~coin n in
-      let row adv_name adversary =
+      let row adv_name make_adversary =
         let s =
-          Sim.Runner.run_trials ~max_rounds:2000 ~trials ~seed
+          Sim.Runner.run_trials ~max_rounds:2000 ?jobs ~trials ~seed
             ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-            ~t protocol adversary
+            ~t protocol make_adversary
         in
         Stats.Table.add_row table
           [
@@ -701,12 +732,13 @@ let e10_coin_assumptions p ~seed =
             Stats.Table.Int (List.length s.Sim.Runner.safety_errors);
           ]
       in
-      row "null" Sim.Adversary.null;
-      row "voting attack" (band ~config:Lb_adversary.voting_config Onesided.paper);
-      row "strongest" (band Onesided.paper);
-      row "leader-killer"
-        (Lb_adversary.leader_killer ~rules:Onesided.paper
-           ~bit_of_msg:Synran.bit_of_msg ~prio_of_msg:Synran.prio_of_msg ()))
+      row "null" (fun () -> Sim.Adversary.null);
+      row "voting attack" (fun () ->
+          band ~config:Lb_adversary.voting_config Onesided.paper);
+      row "strongest" (fun () -> band Onesided.paper);
+      row "leader-killer" (fun () ->
+          Lb_adversary.leader_killer ~rules:Onesided.paper
+            ~bit_of_msg:Synran.bit_of_msg ~prio_of_msg:Synran.prio_of_msg ()))
     coins;
   table
 
@@ -827,18 +859,18 @@ let e12_chor_coan p ~seed =
 
 (* ------------------------------------------------------------------ *)
 
-let all p ~seed =
+let all ?jobs p ~seed =
   [
-    e1_coin_control p ~seed;
+    e1_coin_control ?jobs p ~seed;
     e2_tail_bound p;
-    e3_scaling_n p ~seed;
-    e4_scaling_t p ~seed;
-    e5_small_n_adversaries p ~seed;
-    e6_deterministic_crossover p ~seed;
-    e7_nonadaptive p ~seed;
-    e8_ablation p ~seed;
+    e3_scaling_n ?jobs p ~seed;
+    e4_scaling_t ?jobs p ~seed;
+    e5_small_n_adversaries ?jobs p ~seed;
+    e6_deterministic_crossover ?jobs p ~seed;
+    e7_nonadaptive ?jobs p ~seed;
+    e8_ablation ?jobs p ~seed;
     e9_async_contrast p ~seed;
-    e10_coin_assumptions p ~seed;
+    e10_coin_assumptions ?jobs p ~seed;
     e11_byzantine p ~seed;
     e12_chor_coan p ~seed;
   ]
@@ -848,15 +880,15 @@ let ids =
 
 let by_id = function
   | "e1" -> Some e1_coin_control
-  | "e2" -> Some (fun p ~seed:_ -> e2_tail_bound p)
+  | "e2" -> Some (fun ?jobs:_ p ~seed:_ -> e2_tail_bound p)
   | "e3" -> Some e3_scaling_n
   | "e4" -> Some e4_scaling_t
   | "e5" -> Some e5_small_n_adversaries
   | "e6" -> Some e6_deterministic_crossover
   | "e7" -> Some e7_nonadaptive
   | "e8" -> Some e8_ablation
-  | "e9" -> Some e9_async_contrast
+  | "e9" -> Some (fun ?jobs:_ p ~seed -> e9_async_contrast p ~seed)
   | "e10" -> Some e10_coin_assumptions
-  | "e11" -> Some e11_byzantine
-  | "e12" -> Some e12_chor_coan
+  | "e11" -> Some (fun ?jobs:_ p ~seed -> e11_byzantine p ~seed)
+  | "e12" -> Some (fun ?jobs:_ p ~seed -> e12_chor_coan p ~seed)
   | _ -> None

@@ -3,39 +3,45 @@
     [bench/main.exe] and [bin/consensus_cli.exe experiments] render.
 
     [Quick] keeps every experiment under a few seconds for CI-style runs;
-    [Full] uses the trial counts and sweeps reported in EXPERIMENTS.md. *)
+    [Full] uses the trial counts and sweeps reported in EXPERIMENTS.md.
+
+    [jobs] (default {!Sim.Parallel.default_jobs}) sets the number of
+    domains the trial loops fan out over; every table is bit-identical for
+    every [jobs >= 1] because each trial's RNG is a pure function of
+    [(seed, trial index)] (see {!Sim.Parallel}). E9, E11 and E12 run on
+    the sequential async/Byzantine engines and ignore [jobs]. *)
 
 type profile = Quick | Full
 
 val profile_of_string : string -> profile option
 
-val e1_coin_control : profile -> seed:int -> Stats.Table.t
+val e1_coin_control : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Corollary 2.2: control of one-round games vs adversary budget. *)
 
 val e2_tail_bound : profile -> Stats.Table.t
 (** Lemma 4.4 / Corollary 4.5: exact binomial tails vs the paper's lower
     bound. *)
 
-val e3_scaling_n : profile -> seed:int -> Stats.Table.t
+val e3_scaling_n : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Theorem 2: SynRan E[rounds] vs n at t = n - 1 under band control,
     fitted against sqrt(n / log n). *)
 
-val e4_scaling_t : profile -> seed:int -> Stats.Table.t
+val e4_scaling_t : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Theorem 3: E[rounds] vs t at fixed n against the
     t / sqrt(n log(2 + t/sqrt n)) shape. *)
 
-val e5_small_n_adversaries : profile -> seed:int -> Stats.Table.t
+val e5_small_n_adversaries : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Theorem 1 (small n): forced rounds under the Monte-Carlo valency
     adversary vs oblivious baselines vs the theory curve. *)
 
-val e6_deterministic_crossover : profile -> seed:int -> Stats.Table.t
+val e6_deterministic_crossover : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Section 1: FloodSet's t+1 rounds vs SynRan's expected rounds. *)
 
-val e7_nonadaptive : profile -> seed:int -> Stats.Table.t
+val e7_nonadaptive : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Section 1.2: the same kill budget spent obliviously barely slows SynRan
     — adaptivity is what the lower bound needs. *)
 
-val e8_ablation : profile -> seed:int -> Stats.Table.t
+val e8_ablation : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Section 4 ablation: the zero rule and the off-centre flip band. *)
 
 val e9_async_contrast : profile -> seed:int -> Stats.Table.t
@@ -43,7 +49,7 @@ val e9_async_contrast : profile -> seed:int -> Stats.Table.t
     against a full-information scheduler even with zero crashes — the
     async/sync contrast motivating the paper. *)
 
-val e10_coin_assumptions : profile -> seed:int -> Stats.Table.t
+val e10_coin_assumptions : ?jobs:int -> profile -> seed:int -> Stats.Table.t
 (** Section 1: weakening the adversary (denying it the coin) buys O(1)
     expected rounds — private vs leader vs shared-oracle coins under the
     same attacks. *)
@@ -59,11 +65,11 @@ val e12_chor_coan : profile -> seed:int -> Stats.Table.t
     non-adaptive one gets O(1) rounds; O(t/log n) at the paper's group
     size. *)
 
-val all : profile -> seed:int -> Stats.Table.t list
+val all : ?jobs:int -> profile -> seed:int -> Stats.Table.t list
 (** Every experiment, in order. *)
 
 val ids : string list
 (** ["e1"; ...; "e12"]. *)
 
-val by_id : string -> (profile -> seed:int -> Stats.Table.t) option
+val by_id : string -> (?jobs:int -> profile -> seed:int -> Stats.Table.t) option
 (** Look up a single experiment driver by id. *)

@@ -20,7 +20,10 @@ type state = {
   has_zero : bool;
   has_one : bool;
   (* Receive-count history: N^(r-1), N^(r-2), N^(r-3), seeded with n
-     (the paper's N^-1 = N^0 = n convention). *)
+     (the paper's N^-1 = N^0 = n convention). All three registers are
+     load-bearing: the stopping rule must bound the kills of the three
+     rounds r-2, r-1, r, which requires comparing N^r against N^(r-3).
+     See the stability check in [step_probabilistic]. *)
   n1 : int;
   n2 : int;
   n3 : int;
@@ -113,7 +116,17 @@ let step_probabilistic s ~round ~received =
     (* Too few survivors: freeze b, run the one-round delay, then flood. *)
     { s with stage = Switching; n1 = nrecv; n2 = s.n1; n3 = s.n2 }
   else if s.decided_flag && 10 * (s.n3 - nrecv) <= s.n2 then
-    (* Stable population for three rounds: stop, outputting b. *)
+    (* Stable population for three rounds: stop, outputting b.
+       The window deliberately reaches back to N^(r-3): it bounds the kills
+       of rounds r-2..r by N^(r-2)/10, which is exactly the slack between
+       the decide threshold (7/10) and the propose threshold (6/10). If p
+       decided b=1 at round r-1 it saw ones > 0.7*N^(r-2); any survivor q
+       saw ones_q >= ones_p - k_{r-1} over N_q <= N^(r-2) + k_{r-2}
+       processes, so k_{r-1} + 0.6*k_{r-2} <= 0.1*N^(r-2) guarantees q at
+       least proposed 1 before p stops — agreement with probability 1.
+       A shorter window over only N^(r-2), N^(r-1) bounds k_{r-1} alone and
+       is unsound: under the band voting attack at n=192 it yields real
+       agreement violations (see the trial-30 regression in test_synran). *)
     { s with output = Some s.b; halted = true; n1 = nrecv; n2 = s.n1; n3 = s.n2 }
   else begin
     let b, decided_flag =

@@ -10,6 +10,18 @@ let split g = Xoshiro256.of_seed (Splitmix64.mix (Xoshiro256.next g))
 
 let split_n g k = Array.init k (fun _ -> split g)
 
+(* Hash (seed, index) into a stream key with two rounds of the SplitMix64
+   finalizer, offsetting the index by the golden gamma so that (s, i) and
+   (s + 1, i - 1) style collisions cannot occur along the diagonal. *)
+let of_seed_index ~seed ~index =
+  let open Int64 in
+  let key =
+    Splitmix64.mix
+      (add (Splitmix64.mix (of_int seed))
+         (mul 0x9E3779B97F4A7C15L (add (of_int index) 1L)))
+  in
+  Xoshiro256.of_seed key
+
 let copy = Xoshiro256.copy
 
 let bool g = Int64.compare (Xoshiro256.next g) 0L < 0

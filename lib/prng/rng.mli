@@ -21,6 +21,15 @@ val split : t -> t
 val split_n : t -> int -> t array
 (** [split_n g k] derives [k] independent streams. Advances [g]. *)
 
+val of_seed_index : seed:int -> index:int -> t
+(** [of_seed_index ~seed ~index] derives a stream from the pair — a pure
+    function of its two arguments, with no shared state. Stream [index] of a
+    given [seed] is therefore the same no matter how many other indices are
+    instantiated, in what order, or on which domain: this is the seeding
+    primitive that makes parallel trial runs order-independent (see
+    {!Sim.Parallel}). Uses the SplitMix64 finalizer to decorrelate
+    neighbouring pairs. *)
+
 val copy : t -> t
 (** [copy g] replays [g]'s future exactly (no independence!). Use [split]
     when independence is wanted. *)

@@ -1,0 +1,82 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let default_chunk_size = 8
+
+(* Claim chunks from a shared counter until exhausted (or a peer failed).
+   Worker 0 is the calling domain, so [jobs = 1] never spawns. *)
+let run_workers ~jobs ~nchunks ~run_chunk =
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let rec loop () =
+      if Atomic.get failure = None then begin
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          (try run_chunk c
+           with exn ->
+             ignore (Atomic.compare_and_set failure None (Some exn)));
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  if jobs <= 1 then worker ()
+  else begin
+    let spawned = Stdlib.min (jobs - 1) (Stdlib.max 0 (nchunks - 1)) in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  match Atomic.get failure with None -> () | Some exn -> raise exn
+
+let fold_chunks ?jobs ?(chunk_size = default_chunk_size) ~n ~create ~work
+    ~merge () =
+  if n < 0 then invalid_arg "Parallel.fold_chunks: negative n";
+  if chunk_size < 1 then invalid_arg "Parallel.fold_chunks: chunk_size";
+  let jobs =
+    match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs ()
+  in
+  if n = 0 then create ()
+  else begin
+    let nchunks = (n + chunk_size - 1) / chunk_size in
+    let partials = Array.make nchunks None in
+    let run_chunk c =
+      let acc = create () in
+      let lo = c * chunk_size in
+      let hi = Stdlib.min n (lo + chunk_size) - 1 in
+      for i = lo to hi do
+        work i acc
+      done;
+      (* Distinct slots per chunk; Domain.join publishes them to the
+         merging domain. *)
+      partials.(c) <- Some acc
+    in
+    run_workers ~jobs ~nchunks ~run_chunk;
+    (* Merge in chunk order: chunking and merge order depend only on [n]
+       and [chunk_size], never on [jobs], so any worker count produces the
+       same result bit for bit (even for non-associative float folds). *)
+    let acc = ref None in
+    Array.iter
+      (fun p ->
+        match (p, !acc) with
+        | Some p, Some a -> acc := Some (merge a p)
+        | Some p, None -> acc := Some p
+        | None, _ -> assert false)
+      partials;
+    match !acc with Some a -> a | None -> assert false
+  end
+
+let map ?jobs ?chunk_size ~n f =
+  if n < 0 then invalid_arg "Parallel.map: negative n";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    ignore
+      (fold_chunks ?jobs ?chunk_size ~n
+         ~create:(fun () -> ())
+         ~work:(fun i () -> results.(i) <- Some (f i))
+         ~merge:(fun () () -> ())
+         ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

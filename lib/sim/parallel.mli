@@ -1,0 +1,51 @@
+(** Domain-parallel work pool for independent Monte-Carlo trials.
+
+    Trials fan out across OCaml 5 [Domain]s, yet every result is
+    bit-identical to a single-domain run. Two rules make that hold:
+
+    {ol
+    {- {b Order-independent seeding.} Each trial derives its own RNG from
+       [(seed, trial_index)] via {!Prng.Rng.of_seed_index}; no trial draws
+       from a stream another trial advanced, so scheduling cannot change
+       any trial's randomness.}
+    {- {b Deterministic chunking.} The index space is cut into fixed-size
+       chunks and each worker folds whole chunks into its own accumulator;
+       chunk partials are merged in chunk order. Chunk boundaries and the
+       merge order depend only on [n] and [chunk_size] — never on [jobs] —
+       so even non-associative floating-point folds (Welford moments)
+       reduce identically under any worker count.}}
+
+    Work items must be independent: the [work] callback may only touch its
+    chunk accumulator and per-index state (e.g. a freshly built adversary),
+    never shared mutable structures. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the worker count the [--jobs]
+    flags default to. *)
+
+val default_chunk_size : int
+(** Indices per chunk (8): small enough to load-balance the uneven trial
+    costs of adversarial runs, large enough to amortise accumulator
+    allocation. *)
+
+val fold_chunks :
+  ?jobs:int ->
+  ?chunk_size:int ->
+  n:int ->
+  create:(unit -> 'acc) ->
+  work:(int -> 'acc -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc
+(** [fold_chunks ~n ~create ~work ~merge ()] folds indices [0 .. n-1]:
+    each chunk gets a fresh [create ()] accumulator, [work i acc] is called
+    for each index of the chunk in ascending order, and chunk partials are
+    combined with [merge] in chunk order. [jobs] defaults to
+    {!default_jobs}; the result is the same for every [jobs >= 1]. If any
+    [work] call raises, one such exception is re-raised after all workers
+    stop (no pending chunk is started once a failure is recorded). *)
+
+val map :
+  ?jobs:int -> ?chunk_size:int -> n:int -> (int -> 'a) -> 'a array
+(** [map ~n f] is [[| f 0; ...; f (n-1) |]] computed across domains. [f]
+    must be safe to call concurrently at distinct indices. *)

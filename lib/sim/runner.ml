@@ -27,44 +27,82 @@ let consensus_value (o : Engine.outcome) =
     o.decisions;
   !v
 
-let run_trials ?(max_rounds = 10_000) ?strict ~trials ~seed ~gen_inputs ~t
-    protocol adversary =
+(* Per-chunk accumulator; merged in chunk order by Parallel.fold_chunks, so
+   the summary is identical for every worker count. *)
+type acc = {
+  acc_rounds : Stats.Welford.t;
+  acc_hist : Stats.Histogram.t;
+  acc_kills : Stats.Welford.t;
+  mutable acc_zero : int;
+  mutable acc_one : int;
+  mutable acc_nonterm : int;
+  mutable acc_errors_rev : string list list;
+      (* one in-order error list per offending trial, most recent first *)
+}
+
+let acc_create () =
+  {
+    acc_rounds = Stats.Welford.create ();
+    acc_hist = Stats.Histogram.create ();
+    acc_kills = Stats.Welford.create ();
+    acc_zero = 0;
+    acc_one = 0;
+    acc_nonterm = 0;
+    acc_errors_rev = [];
+  }
+
+let acc_merge a b =
+  {
+    acc_rounds = Stats.Welford.merge a.acc_rounds b.acc_rounds;
+    acc_hist = Stats.Histogram.merge a.acc_hist b.acc_hist;
+    acc_kills = Stats.Welford.merge a.acc_kills b.acc_kills;
+    acc_zero = a.acc_zero + b.acc_zero;
+    acc_one = a.acc_one + b.acc_one;
+    acc_nonterm = a.acc_nonterm + b.acc_nonterm;
+    acc_errors_rev = b.acc_errors_rev @ a.acc_errors_rev;
+  }
+
+let run_trials ?(max_rounds = 10_000) ?strict ?jobs ~trials ~seed ~gen_inputs
+    ~t protocol make_adversary =
   if trials <= 0 then invalid_arg "Runner.run_trials: trials must be positive";
-  let master = Prng.Rng.create seed in
-  let rounds = Stats.Welford.create () in
-  let rounds_hist = Stats.Histogram.create () in
-  let kills = Stats.Welford.create () in
-  let decided_zero = ref 0 in
-  let decided_one = ref 0 in
-  let non_terminating = ref 0 in
-  let safety_errors = ref [] in
-  for trial = 1 to trials do
-    let rng = Prng.Rng.split master in
+  let work index acc =
+    let trial = index + 1 in
+    (* The trial's randomness is a pure function of (seed, index): no
+       master stream is shared, so trial [i] is reproducible regardless of
+       worker count, scheduling, or how many trials run. *)
+    let rng = Prng.Rng.of_seed_index ~seed ~index in
     let inputs = gen_inputs rng in
+    (* A fresh adversary per trial: adversaries may close over mutable
+       trackers, which must not be shared across concurrent trials. *)
+    let adversary = make_adversary () in
     let o = Engine.run ~max_rounds protocol adversary ~inputs ~t ~rng in
     let verdict = Checker.check ?strict ~inputs o in
     if not (verdict.Checker.agreement && verdict.Checker.validity) then
-      safety_errors :=
+      acc.acc_errors_rev <-
         List.map (Printf.sprintf "trial %d: %s" trial) verdict.Checker.errors
-        @ !safety_errors;
+        :: acc.acc_errors_rev;
     (match o.rounds_to_decide with
     | Some r ->
-        Stats.Welford.add_int rounds r;
-        Stats.Histogram.add rounds_hist r
-    | None -> incr non_terminating);
-    Stats.Welford.add_int kills o.kills_used;
-    (match consensus_value o with
-    | Some 0 -> incr decided_zero
-    | Some _ -> incr decided_one
-    | None -> ())
-  done;
+        Stats.Welford.add_int acc.acc_rounds r;
+        Stats.Histogram.add acc.acc_hist r
+    | None -> acc.acc_nonterm <- acc.acc_nonterm + 1);
+    Stats.Welford.add_int acc.acc_kills o.kills_used;
+    match consensus_value o with
+    | Some 0 -> acc.acc_zero <- acc.acc_zero + 1
+    | Some _ -> acc.acc_one <- acc.acc_one + 1
+    | None -> ()
+  in
+  let acc =
+    Parallel.fold_chunks ?jobs ~n:trials ~create:acc_create ~work
+      ~merge:acc_merge ()
+  in
   {
     trials;
-    rounds;
-    rounds_hist;
-    kills;
-    decided_zero = !decided_zero;
-    decided_one = !decided_one;
-    non_terminating = !non_terminating;
-    safety_errors = List.rev !safety_errors;
+    rounds = acc.acc_rounds;
+    rounds_hist = acc.acc_hist;
+    kills = acc.acc_kills;
+    decided_zero = acc.acc_zero;
+    decided_one = acc.acc_one;
+    non_terminating = acc.acc_nonterm;
+    safety_errors = List.concat (List.rev acc.acc_errors_rev);
   }

@@ -14,7 +14,8 @@ type summary = {
       (** Trials that hit the round cap with undecided non-faulty processes.
           Should be 0 for every protocol here; reported rather than hidden. *)
   safety_errors : string list;
-      (** Agreement/validity violations across all trials (should be []). *)
+      (** Agreement/validity violations across all trials (should be []),
+          in trial order, each trial's errors in {!Checker} order. *)
 }
 
 val mean_rounds : summary -> float
@@ -32,12 +33,20 @@ val input_gen_split : n:int -> Prng.Rng.t -> int array
 val run_trials :
   ?max_rounds:int ->
   ?strict:bool ->
+  ?jobs:int ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
   t:int ->
   ('state, 'msg) Protocol.t ->
-  ('state, 'msg) Adversary.t ->
+  (unit -> ('state, 'msg) Adversary.t) ->
   summary
-(** Each trial gets its own split of the master seed: trial [i] of a given
-    seed is reproducible regardless of how many trials run. *)
+(** Trial [i]'s RNG is derived from [(seed, i)] via
+    {!Prng.Rng.of_seed_index}, so it is reproducible regardless of how many
+    trials run, in what order, or across how many domains: [~jobs:8]
+    produces a bit-identical summary to [~jobs:1]. [jobs] defaults to
+    {!Parallel.default_jobs}. The last argument builds the adversary; it is
+    called once per trial because adversaries may carry mutable per-run
+    trackers that must not be shared across concurrent trials (the factory
+    itself must be deterministic and thread-safe — building from immutable
+    configuration, as every adversary in this repository does, qualifies). *)

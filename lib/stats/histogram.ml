@@ -12,6 +12,11 @@ let add h v = add_many h v 1
 
 let count h = h.total
 
+let merge a b =
+  let m = { tbl = Hashtbl.copy a.tbl; total = a.total } in
+  Hashtbl.iter (fun v c -> add_many m v c) b.tbl;
+  m
+
 let count_of h v = Option.value ~default:0 (Hashtbl.find_opt h.tbl v)
 
 let bins h =

@@ -13,6 +13,11 @@ val add_many : t -> int -> int -> unit
 val count : t -> int
 (** Total number of observations. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding every observation of [a] and
+    [b]; the arguments are unchanged. Bin counts are integers, so merging is
+    exactly order-independent (unlike floating-point moments). *)
+
 val count_of : t -> int -> int
 (** Observations equal to the given value. *)
 

@@ -117,13 +117,13 @@ let test_band_forces_long_executions () =
      rounds than the adversary-free baseline. *)
   let n = 96 in
   let protocol = Core.Synran.protocol n in
-  let run adversary =
+  let run make_adversary =
     Sim.Runner.run_trials ~max_rounds:2000 ~trials:25 ~seed:7
       ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-      ~t:(n - 1) protocol adversary
+      ~t:(n - 1) protocol make_adversary
   in
-  let free = run Sim.Adversary.null in
-  let attacked = run (band ()) in
+  let free = run (fun () -> Sim.Adversary.null) in
+  let attacked = run (fun () -> band ()) in
   check_bool
     (Printf.sprintf "adaptive %.1f >> free %.1f"
        (Sim.Runner.mean_rounds attacked)
@@ -138,12 +138,14 @@ let test_band_resets_between_trials () =
   let protocol = Core.Synran.protocol n in
   let adversary = band () in
   let run () =
-    Sim.Runner.run_trials ~max_rounds:2000 ~trials:10 ~seed:9
+    Sim.Runner.run_trials ~max_rounds:2000 ~jobs:1 ~trials:10 ~seed:9
       ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-      ~t:(n - 1) protocol adversary
+      ~t:(n - 1) protocol
+      (fun () -> adversary)
   in
   (* Reusing the same adversary value must give identical results because
-     its per-run state resets on round 1. *)
+     its per-run state resets on round 1 (jobs = 1: sharing one stateful
+     adversary across trials is only legal sequentially). *)
   let a = run () in
   let b = run () in
   close ~eps:1e-12 "identical reruns" (Sim.Runner.mean_rounds a)
@@ -237,7 +239,8 @@ let test_lower_bound_respected_by_all_adversaries () =
   let s =
     Sim.Runner.run_trials ~max_rounds:2000 ~trials:20 ~seed:23
       ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-      ~t:(n - 1) protocol (band ())
+      ~t:(n - 1) protocol
+      (fun () -> band ())
   in
   check_bool "above theory lower bound" true
     (Sim.Runner.mean_rounds s >= Core.Theory.lower_bound_rounds ~n ~t:(n - 1))

@@ -474,3 +474,35 @@ let structural_suites =
   ]
 
 let suites = suites @ structural_suites
+
+(* --- Parallel runner ------------------------------------------------------------ *)
+
+let prop_run_trials_jobs_equivalent =
+  (* Order-independent seeding + deterministic chunking: run_trials must be a
+     pure function of (protocol, adversary, seed, trials) — never of jobs. *)
+  QCheck.Test.make
+    ~name:"run_trials is bit-identical for jobs in {1, 2, 4}" ~count:12
+    QCheck.(triple (int_range 4 12) small_int (int_bound 2))
+    (fun (n, seed, tag) ->
+      let t = Prng.Rng.int (Prng.Rng.create (seed + 5)) n in
+      let make_adversary () = adversary_of_tag ~n ~t ~seed tag in
+      let run jobs =
+        Sim.Runner.run_trials ~max_rounds:500 ~jobs ~trials:6 ~seed
+          ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+          ~t (Core.Synran.protocol n) make_adversary
+      in
+      let key (s : Sim.Runner.summary) =
+        ( Stats.Welford.mean s.Sim.Runner.rounds,
+          Stats.Welford.variance s.Sim.Runner.rounds,
+          Stats.Histogram.bins s.Sim.Runner.rounds_hist,
+          Stats.Welford.mean s.Sim.Runner.kills,
+          (s.Sim.Runner.decided_zero, s.Sim.Runner.decided_one),
+          s.Sim.Runner.safety_errors )
+      in
+      let base = key (run 1) in
+      key (run 2) = base && key (run 4) = base)
+
+let parallel_suites =
+  [ ("properties.parallel", List.map to_alcotest [ prop_run_trials_jobs_equivalent ]) ]
+
+let suites = suites @ parallel_suites

@@ -357,8 +357,7 @@ let test_runner_reproducible () =
   let run () =
     Sim.Runner.run_trials ~trials:20 ~seed:5
       ~gen_inputs:(Sim.Runner.input_gen_random ~n:16)
-      ~t:8 protocol
-      (Baselines.Adversaries.random_crash ~p:0.1)
+      ~t:8 protocol (fun () -> Baselines.Adversaries.random_crash ~p:0.1)
   in
   let a = run () and b = run () in
   Alcotest.(check (float 1e-12))
@@ -370,7 +369,7 @@ let test_runner_counts () =
   let s =
     Sim.Runner.run_trials ~trials:25 ~seed:6
       ~gen_inputs:(Sim.Runner.input_gen_const ~n:8 1)
-      ~t:0 protocol Sim.Adversary.null
+      ~t:0 protocol (fun () -> Sim.Adversary.null)
   in
   check_int "trials" 25 s.Sim.Runner.trials;
   check_int "all decided one" 25 s.Sim.Runner.decided_one;
@@ -564,3 +563,229 @@ let csv_suite =
   ("sim.trace-csv", [ tc "to_csv" test_to_csv ])
 
 let suites = suites @ [ csv_suite ]
+
+(* --- Parallel work pool -------------------------------------------------------- *)
+
+let parallel_suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let test_fold_sum_invariant () =
+    (* The same fold over 0..99 for every (jobs, chunk_size) combination. *)
+    let expected = 100 * 99 / 2 in
+    List.iter
+      (fun jobs ->
+        List.iter
+          (fun chunk_size ->
+            let r =
+              Sim.Parallel.fold_chunks ~jobs ~chunk_size ~n:100
+                ~create:(fun () -> ref 0)
+                ~work:(fun i acc -> acc := !acc + i)
+                ~merge:(fun a b ->
+                  a := !a + !b;
+                  a)
+                ()
+            in
+            check_int
+              (Printf.sprintf "sum 0..99 (jobs=%d chunk=%d)" jobs chunk_size)
+              expected !r)
+          [ 1; 3; 8; 100 ])
+      [ 1; 2; 4 ]
+  in
+  let test_fold_float_bit_identical () =
+    (* Welford moments are a non-associative float fold; fixed chunk
+       boundaries and in-order merging must make every worker count agree
+       bit for bit, not just approximately. *)
+    let run jobs =
+      Sim.Parallel.fold_chunks ~jobs ~n:257 ~create:Stats.Welford.create
+        ~work:(fun i w -> Stats.Welford.add w (sin (float_of_int i) *. 1e3))
+        ~merge:Stats.Welford.merge ()
+    in
+    let base = run 1 in
+    List.iter
+      (fun jobs ->
+        let w = run jobs in
+        check_bool
+          (Printf.sprintf "mean (jobs=%d)" jobs)
+          true
+          (Stats.Welford.mean base = Stats.Welford.mean w);
+        check_bool
+          (Printf.sprintf "variance (jobs=%d)" jobs)
+          true
+          (Stats.Welford.variance base = Stats.Welford.variance w))
+      [ 2; 4 ]
+  in
+  let test_map () =
+    let a = Sim.Parallel.map ~jobs:3 ~chunk_size:4 ~n:37 (fun i -> i * i) in
+    check_int "length" 37 (Array.length a);
+    Array.iteri (fun i v -> check_int (Printf.sprintf "slot %d" i) (i * i) v) a
+  in
+  let test_empty_and_invalid () =
+    check_int "n = 0 yields the empty accumulator" 0
+      !(Sim.Parallel.fold_chunks ~n:0
+          ~create:(fun () -> ref 0)
+          ~work:(fun _ _ -> Alcotest.fail "work called for n = 0")
+          ~merge:(fun a _ -> a)
+          ());
+    check_int "map n = 0" 0 (Array.length (Sim.Parallel.map ~n:0 (fun i -> i)));
+    check_bool "negative n rejected" true
+      (try
+         ignore (Sim.Parallel.map ~n:(-1) (fun i -> i));
+         false
+       with Invalid_argument _ -> true);
+    check_bool "chunk_size 0 rejected" true
+      (try
+         ignore
+           (Sim.Parallel.fold_chunks ~chunk_size:0 ~n:4
+              ~create:(fun () -> ())
+              ~work:(fun _ () -> ())
+              ~merge:(fun () () -> ())
+              ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  let test_exception_propagates () =
+    List.iter
+      (fun jobs ->
+        check_bool
+          (Printf.sprintf "worker failure re-raised (jobs=%d)" jobs)
+          true
+          (try
+             ignore
+               (Sim.Parallel.fold_chunks ~jobs ~chunk_size:2 ~n:40
+                  ~create:(fun () -> ())
+                  ~work:(fun i () -> if i = 13 then failwith "boom")
+                  ~merge:(fun () () -> ())
+                  ());
+             false
+           with Failure m -> m = "boom"))
+      [ 1; 4 ]
+  in
+  ( "sim.parallel",
+    [
+      tc "fold invariant under jobs and chunk size" test_fold_sum_invariant;
+      tc "float folds bit-identical across jobs" test_fold_float_bit_identical;
+      tc "map" test_map;
+      tc "empty and invalid arguments" test_empty_and_invalid;
+      tc "worker exception propagates" test_exception_propagates;
+    ] )
+
+(* --- Parallel / sequential runner equivalence ----------------------------------- *)
+
+let summaries_identical name (a : Sim.Runner.summary) (b : Sim.Runner.summary) =
+  let float_eq tag get =
+    check_bool (name ^ ": " ^ tag) true
+      (let x = get a and y = get b in
+       x = y || (Float.is_nan x && Float.is_nan y))
+  in
+  check_int (name ^ ": trials") a.Sim.Runner.trials b.Sim.Runner.trials;
+  float_eq "mean rounds" (fun s -> Stats.Welford.mean s.Sim.Runner.rounds);
+  float_eq "rounds variance" (fun s ->
+      Stats.Welford.variance s.Sim.Runner.rounds);
+  float_eq "mean kills" (fun s -> Stats.Welford.mean s.Sim.Runner.kills);
+  Alcotest.(check (list (pair int int)))
+    (name ^ ": histogram bins")
+    (Stats.Histogram.bins a.Sim.Runner.rounds_hist)
+    (Stats.Histogram.bins b.Sim.Runner.rounds_hist);
+  check_int (name ^ ": decided zero") a.Sim.Runner.decided_zero
+    b.Sim.Runner.decided_zero;
+  check_int (name ^ ": decided one") a.Sim.Runner.decided_one
+    b.Sim.Runner.decided_one;
+  check_int (name ^ ": non-terminating") a.Sim.Runner.non_terminating
+    b.Sim.Runner.non_terminating;
+  Alcotest.(check (list string))
+    (name ^ ": safety errors")
+    a.Sim.Runner.safety_errors b.Sim.Runner.safety_errors
+
+let runner_parallel_suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let grid_case ~label ~n ~t ~trials ~seeds make_adversary () =
+    List.iter
+      (fun seed ->
+        let run jobs =
+          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ~trials ~seed
+            ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+            ~t (Core.Synran.protocol n) make_adversary
+        in
+        let base = run 1 in
+        List.iter
+          (fun jobs ->
+            summaries_identical
+              (Printf.sprintf "%s n=%d t=%d seed=%d jobs=%d" label n t seed
+                 jobs)
+              base (run jobs))
+          [ 2; 4 ])
+      seeds
+  in
+  ( "sim.runner-parallel",
+    [
+      tc "null adversary grid"
+        (grid_case ~label:"null" ~n:16 ~t:0 ~trials:24 ~seeds:[ 1; 2 ]
+           (fun () -> Sim.Adversary.null));
+      tc "random-crash grid"
+        (grid_case ~label:"crash" ~n:16 ~t:8 ~trials:20 ~seeds:[ 3; 9 ]
+           (fun () -> Baselines.Adversaries.random_crash ~p:0.1));
+      tc "stateful band-control grid"
+        (grid_case ~label:"band" ~n:24 ~t:23 ~trials:10 ~seeds:[ 5 ] (fun () ->
+             Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+               ~bit_of_msg:Core.Synran.bit_of_msg ()));
+    ] )
+
+(* --- Safety-error ordering across a multi-error trial --------------------------- *)
+
+(* Every process decides (own pid mod 2) under unanimous-1 inputs, producing
+   two agreement violations and two validity violations in one trial. The
+   runner must report them per trial in Checker order (agreement before
+   validity, ascending pid) — the old accumulator reversed them. *)
+type disagree_state = { dpid : int; ddecided : bool; dhalted : bool }
+
+let disagree_protocol =
+  {
+    Sim.Protocol.name = "disagree";
+    init =
+      (fun ~n:_ ~pid ~input:_ ->
+        { dpid = pid; ddecided = false; dhalted = false });
+    phase_a = (fun s _rng -> (s, 0));
+    phase_b =
+      (fun s ~round:_ ~received:_ ->
+        if s.ddecided then { s with dhalted = true }
+        else { s with ddecided = true });
+    decision = (fun s -> if s.ddecided then Some (s.dpid land 1) else None);
+    halted = (fun s -> s.dhalted);
+  }
+
+let error_order_suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let expected_errors trials =
+    List.concat_map
+      (fun trial ->
+        List.map
+          (Printf.sprintf "trial %d: %s" trial)
+          [
+            "agreement: process 0 decided 0 but process 1 decided 1";
+            "agreement: process 0 decided 0 but process 3 decided 1";
+            "validity: unanimous input 1 but process 0 decided 0";
+            "validity: unanimous input 1 but process 2 decided 0";
+          ])
+      (List.init trials (fun i -> i + 1))
+  in
+  let test_checker_order_within_trial jobs () =
+    (* 10 trials spans two chunks, so this also pins the cross-chunk
+       concatenation order. *)
+    let trials = 10 in
+    let s =
+      Sim.Runner.run_trials ~jobs ~trials ~seed:4
+        ~gen_inputs:(Sim.Runner.input_gen_const ~n:4 1)
+        ~t:0 disagree_protocol
+        (fun () -> Sim.Adversary.null)
+    in
+    Alcotest.(check (list string))
+      "per-trial errors in Checker order" (expected_errors trials)
+      s.Sim.Runner.safety_errors
+  in
+  ( "sim.runner-error-order",
+    [
+      tc "multi-error trial, jobs=1" (test_checker_order_within_trial 1);
+      tc "multi-error trial, jobs=2" (test_checker_order_within_trial 2);
+    ] )
+
+let suites =
+  suites @ [ parallel_suite; runner_parallel_suite; error_order_suite ]

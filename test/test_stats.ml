@@ -243,6 +243,27 @@ let test_histogram_render () =
     (String.length s > 0
     && String.split_on_char '\n' s |> List.length = 2)
 
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add a) [ 1; 1; 3 ];
+  List.iter (Stats.Histogram.add b) [ 3; 7 ];
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check (list (pair int int)))
+    "bin counts add" [ (1, 2); (3, 2); (7, 1) ] (Stats.Histogram.bins m);
+  (* Arguments are untouched and the result is independent of them. *)
+  check_int "a unchanged" 3 (Stats.Histogram.count a);
+  check_int "b unchanged" 2 (Stats.Histogram.count b);
+  Stats.Histogram.add a 9;
+  check_int "merge not aliased to a" 5 (Stats.Histogram.count m);
+  (* Merging with empty is the identity on bins, in either order. *)
+  let e = Stats.Histogram.create () in
+  Alcotest.(check (list (pair int int)))
+    "empty right" (Stats.Histogram.bins b)
+    (Stats.Histogram.bins (Stats.Histogram.merge b e));
+  Alcotest.(check (list (pair int int)))
+    "empty left" (Stats.Histogram.bins b)
+    (Stats.Histogram.bins (Stats.Histogram.merge e b))
+
 (* --- Quantile ---------------------------------------------------------- *)
 
 let test_quantile_basics () =
@@ -409,6 +430,7 @@ let suites =
         tc "quantiles and mass" test_histogram_quantiles_mass;
         tc "invalid input" test_histogram_invalid;
         tc "render" test_histogram_render;
+        tc "merge" test_histogram_merge;
       ] );
     ( "stats.quantile",
       [
@@ -474,7 +496,7 @@ let ks_suite =
         Sim.Runner.run_trials ~trials:120 ~seed
           ~gen_inputs:(Sim.Runner.input_gen_random ~n:24)
           ~t:12 (Core.Synran.protocol 24)
-          (Baselines.Adversaries.random_crash ~p:0.1)
+          (fun () -> Baselines.Adversaries.random_crash ~p:0.1)
       in
       Stats.Histogram.bins s.Sim.Runner.rounds_hist
       |> List.concat_map (fun (v, c) -> List.init c (fun _ -> float_of_int v))

@@ -459,7 +459,7 @@ let leader_suite =
     let run protocol =
       Sim.Runner.run_trials ~max_rounds:3000 ~trials:20 ~seed:9
         ~gen_inputs:(Sim.Runner.input_gen_split ~n)
-        ~t:(n - 1) protocol (killer ())
+        ~t:(n - 1) protocol killer
     in
     let leader = run (Core.Synran.protocol ~coin:Core.Synran.Leader_priority n) in
     let plain = run (Core.Synran.protocol n) in
@@ -493,15 +493,14 @@ let symmetric_agreement_suite =
        (the zero rule is the paper's backstop). Paper rules never break. *)
     let n = 48 in
     let run rules =
-      let adversary =
-        Core.Lb_adversary.band_control ~config:Core.Lb_adversary.voting_config
-          ~rules ~bit_of_msg:Core.Synran.bit_of_msg ()
-      in
       Sim.Runner.run_trials ~max_rounds:400 ~trials:200 ~seed:42
         ~gen_inputs:(Sim.Runner.input_gen_random ~n)
         ~t:(n - 1)
         (Core.Synran.protocol ~rules n)
-        adversary
+        (fun () ->
+          Core.Lb_adversary.band_control
+            ~config:Core.Lb_adversary.voting_config ~rules
+            ~bit_of_msg:Core.Synran.bit_of_msg ())
     in
     let symmetric = run Core.Onesided.symmetric in
     let paper = run Core.Onesided.paper in
@@ -545,9 +544,10 @@ let oracle_suite =
       Sim.Runner.run_trials ~max_rounds:2000 ~trials:25 ~seed:3
         ~gen_inputs:(Sim.Runner.input_gen_random ~n)
         ~t:(n - 1) p
-        (Core.Lb_adversary.band_control
-           ~config:Core.Lb_adversary.voting_config ~rules:Core.Onesided.paper
-           ~bit_of_msg:Core.Synran.bit_of_msg ())
+        (fun () ->
+          Core.Lb_adversary.band_control
+            ~config:Core.Lb_adversary.voting_config ~rules:Core.Onesided.paper
+            ~bit_of_msg:Core.Synran.bit_of_msg ())
     in
     let oracle = run (protocol n) in
     let private_coin = run (Core.Synran.protocol n) in
@@ -624,3 +624,83 @@ let variance_suite =
     ] )
 
 let suites = suites @ [ variance_suite ]
+
+(* --- Stopping-rule window ------------------------------------------------------- *)
+
+(* The stability rule keeps four receive counts and stops once decided and
+   N^(r-3) - N^r <= N^(r-2)/10, i.e. the kills of the last THREE rounds stay
+   within a tenth of the population. That width is load-bearing: it is what
+   guarantees every survivor at least proposed the decided bit before anyone
+   stops (see the derivation in synran.ml). A plausible-looking shortening to
+   N^(r-2) - N^r <= N^(r-1)/10 was audited during the parallel-runner work
+   and found unsound — it admits real agreement violations (pinned by the
+   regression below). These tests pin both the halt round and agreement. *)
+let halt_window_suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let test_no_failure_halts_immediately () =
+    (* Decided at round 1; with no drop the very next stability check
+       passes, so output lands at round 2 — the minimum possible. *)
+    let o =
+      run_synran ~inputs:(Array.make 40 1) ~t:0 ~seed:5 Sim.Adversary.null
+    in
+    Alcotest.(check (option int)) "halt round" (Some 2)
+      o.Sim.Engine.rounds_to_decide
+  in
+  let test_drop_delays_halt_three_checks () =
+    (* 10 of 40 die silently in round 2. Survivors' counts are
+       40, 30, 30, 30, ...; the drop of 10 > 40/10 sits inside the
+       three-round window of the stability checks at rounds 2, 3 and 4, so
+       all three fail; round 5 is the first whose window is fully stable.
+       A shortened two-count window would halt at round 4 — this value is
+       the discriminator. *)
+    let killer =
+      {
+        Sim.Adversary.name = "burst@2";
+        plan =
+          (fun view _ ->
+            if view.Sim.Adversary.round = 2 then
+              List.init 10 Sim.Adversary.kill_silent
+            else []);
+      }
+    in
+    let o = run_synran ~inputs:(Array.make 40 1) ~t:10 ~seed:6 killer in
+    Alcotest.(check (option int)) "halt round" (Some 5)
+      o.Sim.Engine.rounds_to_decide;
+    Array.iteri
+      (fun pid d ->
+        if pid >= 10 then
+          Alcotest.(check (option int))
+            (Printf.sprintf "survivor %d decides 1" pid)
+            (Some 1) d)
+      o.Sim.Engine.decisions
+  in
+  let test_voting_attack_agreement () =
+    (* Agreement counterexample for the shortened window: n = 192, t = n-1,
+       private coins, band voting attack, the exact randomness of trial 30
+       of experiment E10 (seed 42). Under the two-count variant some
+       processes output 1 while others, seeing one round of kills too many,
+       fall back and decide 0. The four-count rule keeps this run safe;
+       this test must stay green for any future change to the rule. *)
+    let n = 192 in
+    let rng = Prng.Rng.of_seed_index ~seed:42 ~index:29 in
+    let inputs = Sim.Runner.input_gen_random ~n rng in
+    let adversary =
+      Core.Lb_adversary.band_control ~config:Core.Lb_adversary.voting_config
+        ~rules:Core.Onesided.paper ~bit_of_msg:Core.Synran.bit_of_msg ()
+    in
+    let o =
+      Sim.Engine.run ~max_rounds:2000 (Core.Synran.protocol n) adversary
+        ~inputs ~t:(n - 1) ~rng
+    in
+    let verdict = Sim.Checker.check ~inputs o in
+    Alcotest.(check (list string)) "no safety errors" []
+      verdict.Sim.Checker.errors
+  in
+  ( "core.synran-halt-window",
+    [
+      tc "no failures: halt at round 2" test_no_failure_halts_immediately;
+      tc "round-2 burst: halt at round 5" test_drop_delays_halt_three_checks;
+      tc "voting attack, E10 trial 30: agreement" test_voting_attack_agreement;
+    ] )
+
+let suites = suites @ [ halt_window_suite ]
