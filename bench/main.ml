@@ -44,7 +44,13 @@ let parallel_bench () =
   let n = 96 and trials = 200 in
   let protocol = Core.Synran.protocol n in
   let run jobs =
-    let start = Unix.gettimeofday () in
+    let start =
+      (Unix.gettimeofday
+      [@detlint.allow
+        "R2: wall-clock here is the measurement itself (trials/sec of the \
+         parallel runner); it feeds only the throughput report, never an \
+         experiment table"]) ()
+    in
     let s =
       Sim.Runner.run_trials ~max_rounds:2000 ~jobs ~trials ~seed
         ~gen_inputs:(Sim.Runner.input_gen_random ~n)
@@ -53,7 +59,14 @@ let parallel_bench () =
           Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
             ~bit_of_msg:Core.Synran.bit_of_msg ())
     in
-    let dt = Unix.gettimeofday () -. start in
+    let dt =
+      (Unix.gettimeofday
+      [@detlint.allow
+        "R2: wall-clock here is the measurement itself (trials/sec of the \
+         parallel runner); it feeds only the throughput report, never an \
+         experiment table"]) ()
+      -. start
+    in
     (s, dt)
   in
   let jobs_max = Stdlib.max 2 (Sim.Parallel.default_jobs ()) in

@@ -111,11 +111,14 @@ let run (type s m) ?(max_steps = 200_000) ?phase_of
           crashed.(pid) <- true;
           (* Its in-flight traffic evaporates, both directions. *)
           let doomed =
+            (* Sorted so the removal set never depends on bucket layout
+               (removal commutes, but cheap determinism beats a waiver). *)
             Hashtbl.fold
               (fun id m acc ->
                 if m.Scheduler.src = pid || m.Scheduler.dst = pid then id :: acc
                 else acc)
               pending []
+            |> List.sort Int.compare
           in
           List.iter (Hashtbl.remove pending) doomed
       | Scheduler.Deliver id -> (

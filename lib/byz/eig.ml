@@ -24,9 +24,12 @@ let protocol ~t =
     let payload =
       if level = 0 then [ ([], s.input) ]
       else
+        (* Sorted by label so the broadcast payload never depends on the
+           tree's internal bucket layout. *)
         Hashtbl.fold
           (fun label v acc -> if List.length label = level then (label, v) :: acc else acc)
           s.tree []
+        |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
     in
     (s, payload)
   in

@@ -210,7 +210,7 @@ let step e adversary =
                 0 pending
         in
         let victims =
-          kills |> List.map (fun k -> k.Adversary.victim) |> List.sort compare
+          kills |> List.map (fun k -> k.Adversary.victim) |> List.sort Int.compare
           |> Array.of_list
         in
         Trace.record tr

@@ -5,8 +5,8 @@ let check n p =
 let log_pmf ~n ~k ~p =
   check n p;
   if k < 0 || k > n then Logspace.neg_inf
-  else if p = 0.0 then (if k = 0 then 0.0 else Logspace.neg_inf)
-  else if p = 1.0 then (if k = n then 0.0 else Logspace.neg_inf)
+  else if Float.equal p 0.0 then (if k = 0 then 0.0 else Logspace.neg_inf)
+  else if Float.equal p 1.0 then (if k = n then 0.0 else Logspace.neg_inf)
   else
     Logspace.ln_choose n k
     +. (float_of_int k *. log p)

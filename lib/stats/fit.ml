@@ -19,11 +19,11 @@ let linear pts =
       sxy := !sxy +. (dx *. dy);
       syy := !syy +. (dy *. dy))
     pts;
-  if !sxx = 0.0 then invalid_arg "Fit.linear: constant x";
+  if Float.equal !sxx 0.0 then invalid_arg "Fit.linear: constant x";
   let slope = !sxy /. !sxx in
   let intercept = my -. (slope *. mx) in
   let ss_res = !syy -. (slope *. !sxy) in
-  let r2 = if !syy = 0.0 then 1.0 else 1.0 -. (ss_res /. !syy) in
+  let r2 = if Float.equal !syy 0.0 then 1.0 else 1.0 -. (ss_res /. !syy) in
   { intercept; slope; r2 }
 
 let through_origin pts =
@@ -33,7 +33,7 @@ let through_origin pts =
       sxy := !sxy +. (x *. y);
       sxx := !sxx +. (x *. x))
     pts;
-  if !sxx = 0.0 then invalid_arg "Fit.through_origin: all x are zero";
+  if Float.equal !sxx 0.0 then invalid_arg "Fit.through_origin: all x are zero";
   !sxy /. !sxx
 
 let r2_through_origin pts =
@@ -50,7 +50,7 @@ let r2_through_origin pts =
       ss_res := !ss_res +. (e *. e);
       ss_tot := !ss_tot +. (d *. d))
     pts;
-  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)
+  if Float.equal !ss_tot 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)
 
 type power = { coefficient : float; exponent : float; r2_log : float }
 

@@ -1,9 +1,13 @@
 let statistic xs ys =
   let n = Array.length xs and m = Array.length ys in
   if n = 0 || m = 0 then invalid_arg "Ks.statistic: empty sample";
+  (* NaN never compares, so the merge walk below would spin forever on it;
+     reject it up front rather than hang. *)
+  if Array.exists Float.is_nan xs || Array.exists Float.is_nan ys then
+    invalid_arg "Ks.statistic: NaN in sample";
   let a = Array.copy xs and b = Array.copy ys in
-  Array.sort compare a;
-  Array.sort compare b;
+  Array.sort Float.compare a;
+  Array.sort Float.compare b;
   let fn = float_of_int n and fm = float_of_int m in
   (* Walk the merged order one distinct value at a time, consuming ties on
      both sides before comparing the empirical CDFs. *)

@@ -2,8 +2,11 @@ let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Quantile.quantile: empty sample";
   if q < 0.0 || q > 1.0 then invalid_arg "Quantile.quantile: q out of [0,1]";
+  (* A NaN poisons the interpolation and has no place in a total order. *)
+  if Array.exists Float.is_nan xs then
+    invalid_arg "Quantile.quantile: NaN in sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
   let hi = int_of_float (Float.ceil pos) in

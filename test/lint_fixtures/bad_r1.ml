@@ -1,0 +1,4 @@
+(* detlint fixture: global Random outside lib/prng must trigger R1. *)
+
+let roll () = Random.int 6
+let reseed () = Random.self_init ()

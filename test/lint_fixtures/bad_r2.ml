@@ -1,0 +1,5 @@
+(* detlint fixture: wall-clock/entropy sources must trigger R2. *)
+
+let wall () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let epoch () = Unix.time ()

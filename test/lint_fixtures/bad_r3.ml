@@ -1,0 +1,6 @@
+(* detlint fixture: a Hashtbl.fold whose result escapes without a sort
+   must trigger R3. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d -> %d\n" k v) tbl

@@ -1,0 +1,9 @@
+(* detlint fixture: module-level mutable state captured by a closure
+   passed to Domain.spawn must trigger R4. *)
+
+let total = ref 0
+
+let race () =
+  let d = Domain.spawn (fun () -> total := !total + 1) in
+  total := !total + 1;
+  Domain.join d

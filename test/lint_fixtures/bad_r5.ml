@@ -1,0 +1,6 @@
+(* detlint fixture: linted under a lib/stats relpath, both the bare
+   polymorphic compare and the float (=) must trigger R5. *)
+
+let sort_floats (a : float array) = Array.sort compare a
+
+let is_half x = x = 0.5

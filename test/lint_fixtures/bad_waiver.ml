@@ -1,0 +1,4 @@
+(* detlint fixture: a waiver without a justification is itself a violation
+   (W0) and suppresses nothing, so R2 must still fire. *)
+
+let wall () = (Unix.gettimeofday [@detlint.allow "R2"]) ()

@@ -1,0 +1,8 @@
+(* detlint fixture: plain pure code; no rule may fire. *)
+
+let fib n =
+  let rec go a b n = if n = 0 then a else go b (a + b) (n - 1) in
+  go 0 1 n
+
+let mean xs =
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)

@@ -1,0 +1,4 @@
+(* detlint fixture: the same Random call is legal inside lib/prng (the one
+   place allowed to touch the global generator) and R1 elsewhere. *)
+
+let bits () = Random.bits ()

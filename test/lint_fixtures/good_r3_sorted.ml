@@ -1,0 +1,13 @@
+(* detlint fixture: Hashtbl folds whose results flow straight into a sort
+   are order-safe; R3 must stay silent for all three consumption shapes. *)
+
+let via_pipe tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+let via_apply_op tbl =
+  List.sort Int.compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let via_direct_arg tbl =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

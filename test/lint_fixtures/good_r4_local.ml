@@ -1,0 +1,8 @@
+(* detlint fixture: only call-local mutable state crosses Domain.spawn
+   (fresh per invocation, joined before use), so R4 must stay silent. *)
+
+let no_race () =
+  let local = ref 0 in
+  let d = Domain.spawn (fun () -> ignore !local) in
+  Domain.join d;
+  !local

@@ -1,0 +1,14 @@
+(* detlint fixture: a justified [@detlint.allow "R2: ..."] waiver turns the
+   finding into a waived one — reported, but not a violation. *)
+
+let timed f =
+  let t0 =
+    (Unix.gettimeofday
+    [@detlint.allow "R2: fixture demonstrating a justified timing waiver"]) ()
+  in
+  let r = f () in
+  let t1 =
+    (Unix.gettimeofday
+    [@detlint.allow "R2: fixture demonstrating a justified timing waiver"]) ()
+  in
+  (r, t1 -. t0)

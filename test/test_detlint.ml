@@ -1,0 +1,179 @@
+(* Tests for detlint itself (tools/detlint): every rule R1-R5 must fire on
+   its known-bad fixture in test/lint_fixtures/, stay silent on the
+   known-good ones, and the waiver machinery must suppress exactly the
+   justified findings.  The fixtures are plain .ml files that are never
+   compiled and never scanned by the build-wide `dune build @lint` pass
+   (detlint skips any directory named lint_fixtures). *)
+
+let check_strings = Alcotest.(check (list string))
+
+let lint ?relpath file = Detlint.lint_file ?relpath ("lint_fixtures/" ^ file)
+
+let violations fs =
+  List.filter (fun f -> f.Detlint.severity = Detlint.Violation) fs
+
+let waived fs = List.filter (fun f -> f.Detlint.severity = Detlint.Waived) fs
+
+let rules fs =
+  List.sort_uniq String.compare (List.map (fun f -> f.Detlint.rule) fs)
+
+(* --- each rule fires on its bad fixture ------------------------------- *)
+
+let test_r1_fires () =
+  let fs = lint "bad_r1.ml" in
+  check_strings "R1 and only R1" [ "R1" ] (rules (violations fs));
+  Alcotest.(check int) "both Random calls flagged" 2 (List.length fs)
+
+let test_r2_fires () =
+  let fs = lint "bad_r2.ml" in
+  check_strings "R2 and only R2" [ "R2" ] (rules (violations fs));
+  Alcotest.(check int) "gettimeofday, Sys.time, Unix.time" 3 (List.length fs)
+
+let test_r3_fires () =
+  let fs = lint "bad_r3.ml" in
+  check_strings "R3 and only R3" [ "R3" ] (rules (violations fs));
+  Alcotest.(check int) "unsorted fold and iter" 2 (List.length fs)
+
+let test_r4_fires () =
+  let fs = lint "bad_r4.ml" in
+  check_strings "R4 and only R4" [ "R4" ] (rules (violations fs));
+  (* Only uses inside the spawned closure count (two references to [total]
+     in [total := !total + 1]), not the mutation on the spawning domain. *)
+  Alcotest.(check int) "exactly the captured uses" 2 (List.length fs)
+
+let test_r5_fires () =
+  (* R5 is scoped to lib/stats and lib/sim, so lint the fixture as if it
+     lived there. *)
+  let fs = lint ~relpath:"lib/stats/bad_r5.ml" "bad_r5.ml" in
+  check_strings "R5 and only R5" [ "R5" ] (rules (violations fs));
+  Alcotest.(check int) "bare compare and float (=)" 2 (List.length fs)
+
+let test_r5_scoped () =
+  (* The same file outside lib/stats / lib/sim is not R5's business. *)
+  let fs = lint "bad_r5.ml" in
+  check_strings "clean outside scope" [] (rules fs)
+
+(* --- known-good fixtures stay clean ----------------------------------- *)
+
+let test_good_clean () =
+  check_strings "pure code is clean" [] (rules (lint "good_clean.ml"))
+
+let test_good_r1_prng_scoped () =
+  check_strings "Random is legal inside lib/prng" []
+    (rules (lint ~relpath:"lib/prng/good_r1_prng.ml" "good_r1_prng.ml"));
+  check_strings "the same call elsewhere is R1" [ "R1" ]
+    (rules (lint "good_r1_prng.ml"))
+
+let test_good_r3_sorted () =
+  check_strings "folds flowing into sorts are clean" []
+    (rules (lint "good_r3_sorted.ml"))
+
+let test_good_r4_local () =
+  check_strings "call-local state across spawn is clean" []
+    (rules (lint "good_r4_local.ml"))
+
+(* --- waivers ----------------------------------------------------------- *)
+
+let test_waiver_suppresses () =
+  let fs = lint "good_waived.ml" in
+  check_strings "no violations" [] (rules (violations fs));
+  check_strings "findings reported as waived" [ "R2" ] (rules (waived fs));
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "waived finding carries its justification" true
+        (match f.Detlint.justification with Some j -> j <> "" | None -> false))
+    (waived fs)
+
+let test_malformed_waiver_rejected () =
+  let fs = lint "bad_waiver.ml" in
+  (* The justification-free waiver is flagged (W0) and does not suppress
+     the underlying R2. *)
+  check_strings "W0 plus the unsuppressed R2" [ "R2"; "W0" ]
+    (rules (violations fs));
+  check_strings "nothing waived" [] (rules (waived fs))
+
+let test_file_level_waiver () =
+  let src =
+    "[@@@detlint.allow \"R2: whole-file timing shim used only by the bench\"]\n\
+     let cpu () = Sys.time ()\n"
+  in
+  let fs = Detlint.lint_source ~relpath:"bench/shim.ml" src in
+  check_strings "no violations" [] (rules (violations fs));
+  check_strings "R2 waived file-wide" [ "R2" ] (rules (waived fs))
+
+(* --- engine details ---------------------------------------------------- *)
+
+let test_r4_parallel_entry () =
+  let src =
+    "let hist = Hashtbl.create 16\n\
+     let run () =\n\
+    \  Sim.Parallel.fold_chunks ~n:100\n\
+    \    ~create:(fun () -> ())\n\
+    \    ~work:(fun i () -> Hashtbl.replace hist i i)\n\
+    \    ~merge:(fun () () -> ()) ()\n"
+  in
+  let fs = Detlint.lint_source ~relpath:"lib/core/example.ml" src in
+  check_strings "capture via Sim.Parallel entry point" [ "R4" ]
+    (rules (violations fs))
+
+let test_parse_error_reported () =
+  let fs = Detlint.lint_source ~relpath:"broken.ml" "let let let" in
+  check_strings "parse failure is a violation" [ "P0" ] (rules (violations fs))
+
+let test_walker_skips_fixtures () =
+  (* The corpus itself is invisible to a tree-wide lint: a walk rooted at
+     the fixtures directory finds no files at all. *)
+  let files, findings = Detlint.lint_paths [ "lint_fixtures" ] in
+  Alcotest.(check int) "no files walked" 0 (List.length files);
+  Alcotest.(check int) "no findings" 0 (List.length findings)
+
+let test_json_report_shape () =
+  let fs = lint "bad_r1.ml" @ lint "good_waived.ml" in
+  let json = Detlint.to_json ~files:2 fs in
+  let mem needle =
+    let lw = String.length needle in
+    let rec go i =
+      i + lw <= String.length json
+      && (String.sub json i lw = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "summary present" true
+    (mem "\"violations\": 2, \"waived\": 2");
+  Alcotest.(check bool) "rule table present" true (mem "\"R4\"");
+  Alcotest.(check bool) "justification serialized" true (mem "justification")
+
+let suites =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "detlint.rules",
+      [
+        tc "R1 fires on global Random" test_r1_fires;
+        tc "R2 fires on wall-clock sources" test_r2_fires;
+        tc "R3 fires on unsorted Hashtbl fold/iter" test_r3_fires;
+        tc "R4 fires on captured module state" test_r4_fires;
+        tc "R5 fires on polymorphic compare/=" test_r5_fires;
+        tc "R5 is scoped to lib/stats and lib/sim" test_r5_scoped;
+      ] );
+    ( "detlint.clean",
+      [
+        tc "pure code" test_good_clean;
+        tc "Random inside lib/prng" test_good_r1_prng_scoped;
+        tc "sorted folds" test_good_r3_sorted;
+        tc "call-local spawn state" test_good_r4_local;
+      ] );
+    ( "detlint.waivers",
+      [
+        tc "justified waiver suppresses" test_waiver_suppresses;
+        tc "missing justification rejected" test_malformed_waiver_rejected;
+        tc "file-level waiver" test_file_level_waiver;
+      ] );
+    ( "detlint.engine",
+      [
+        tc "Sim.Parallel counts as a parallel entry" test_r4_parallel_entry;
+        tc "parse errors are violations" test_parse_error_reported;
+        tc "walker skips lint_fixtures" test_walker_skips_fixtures;
+        tc "json report shape" test_json_report_shape;
+      ] );
+  ]

@@ -93,6 +93,41 @@ let prop_quantile_bounded =
       let hi = List.fold_left Float.max Float.neg_infinity xs in
       v >= lo -. 1e-9 && v <= hi +. 1e-9)
 
+(* Histogram.merge folds over a Hashtbl (waived as order-insensitive under
+   detlint rule R3); these properties pin the algebra that justification
+   relies on: merge is commutative and associative up to observable state
+   (sorted bins), and totals add. *)
+let hist_arb =
+  QCheck.(
+    list_of_size Gen.(0 -- 30) (pair (int_range (-20) 20) (int_bound 5)))
+
+let hist_of_ops ops =
+  let h = Stats.Histogram.create () in
+  List.iter (fun (v, c) -> Stats.Histogram.add_many h v c) ops;
+  h
+
+let prop_histogram_merge_commutes =
+  QCheck.Test.make ~name:"Histogram.merge commutes (bins and totals)" ~count:200
+    QCheck.(pair hist_arb hist_arb)
+    (fun (xs, ys) ->
+      let open Stats.Histogram in
+      let ab = merge (hist_of_ops xs) (hist_of_ops ys) in
+      let ba = merge (hist_of_ops ys) (hist_of_ops xs) in
+      bins ab = bins ba
+      && count ab = count ba
+      && count ab = count (hist_of_ops xs) + count (hist_of_ops ys))
+
+let prop_histogram_merge_assoc =
+  QCheck.Test.make ~name:"Histogram.merge is associative (bins)" ~count:200
+    QCheck.(triple hist_arb hist_arb hist_arb)
+    (fun (xs, ys, zs) ->
+      let open Stats.Histogram in
+      let a () = hist_of_ops xs
+      and b () = hist_of_ops ys
+      and c () = hist_of_ops zs in
+      bins (merge (merge (a ()) (b ())) (c ()))
+      = bins (merge (a ()) (merge (b ()) (c ()))))
+
 let prop_wilson_contains_point_estimate =
   QCheck.Test.make ~name:"Wilson interval brackets the proportion" ~count:200
     QCheck.(pair (int_bound 200) (int_bound 200))
@@ -284,6 +319,8 @@ let suites =
           prop_binomial_pmf_normalized;
           prop_welford_merge_consistent;
           prop_quantile_bounded;
+          prop_histogram_merge_commutes;
+          prop_histogram_merge_assoc;
           prop_wilson_contains_point_estimate;
         ] );
     ( "properties.coinflip",

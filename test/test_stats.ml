@@ -291,6 +291,14 @@ let test_quantile_invalid () =
     (Invalid_argument "Quantile.quantile: q out of [0,1]") (fun () ->
       ignore (Stats.Quantile.quantile [| 1.0 |] 1.5))
 
+let test_quantile_nan_rejected () =
+  (* NaN has no place in a total order: with polymorphic compare it sorted
+     "somewhere" and silently poisoned the interpolation; now it is an
+     explicit error. *)
+  Alcotest.check_raises "NaN input"
+    (Invalid_argument "Quantile.quantile: NaN in sample") (fun () ->
+      ignore (Stats.Quantile.median [| 1.0; Float.nan; 2.0 |]))
+
 (* --- Ci ----------------------------------------------------------------- *)
 
 let test_z_levels () =
@@ -437,6 +445,7 @@ let suites =
         tc "basics" test_quantile_basics;
         tc "summary" test_quantile_summary;
         tc "invalid" test_quantile_invalid;
+        tc "nan rejected" test_quantile_nan_rejected;
       ] );
     ( "stats.ci",
       [
@@ -505,6 +514,17 @@ let ks_suite =
     check_bool "stable across seeds" true
       (Stats.Ks.same_distribution ~alpha:0.001 (sample 100) (sample 200))
   in
+  let test_nan_rejected () =
+    (* Regression: a NaN used to make the merge walk spin forever (no
+       comparison could advance past it); it must now raise immediately. *)
+    let clean = [| 1.0; 2.0 |] in
+    Alcotest.check_raises "NaN in first sample"
+      (Invalid_argument "Ks.statistic: NaN in sample") (fun () ->
+        ignore (Stats.Ks.statistic [| Float.nan; 1.0 |] clean));
+    Alcotest.check_raises "NaN in second sample"
+      (Invalid_argument "Ks.statistic: NaN in sample") (fun () ->
+        ignore (Stats.Ks.statistic clean [| 0.5; Float.nan |]))
+  in
   let test_critical_value_monotone () =
     check_bool "stricter alpha, larger threshold" true
       (Stats.Ks.critical_value ~alpha:0.01 50 50
@@ -519,6 +539,7 @@ let ks_suite =
       tc "uniform draws agree" test_uniform_draws_agree;
       tc "synran rounds distribution stable" test_synran_rounds_distribution_stable;
       tc "critical value monotone" test_critical_value_monotone;
+      tc "nan rejected" test_nan_rejected;
     ] )
 
 let suites = suites @ [ ks_suite ]

@@ -1,0 +1,61 @@
+(* detlint CLI.
+
+   Usage: detlint [--json FILE] PATH...
+
+   Walks every PATH recursively for [.ml] files (skipping [_build], [.git]
+   and the deliberately-bad [lint_fixtures] corpus), lints each against
+   rules R1-R5, prints human-readable findings, optionally writes a JSON
+   report, and exits non-zero iff any unwaived violation remains. *)
+
+let usage = "usage: detlint [--json FILE] PATH..."
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let () =
+  let json_out = ref None in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse rest
+    | "--json" :: [] ->
+        prerr_endline usage;
+        exit 2
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let files, findings = Detlint.lint_paths paths in
+  List.iter (fun f -> print_endline (Detlint.render f)) findings;
+  let violations =
+    List.filter (fun f -> f.Detlint.severity = Detlint.Violation) findings
+  in
+  let waived =
+    List.filter (fun f -> f.Detlint.severity = Detlint.Waived) findings
+  in
+  Printf.printf
+    "detlint: %d file(s) checked, %d violation(s), %d waived finding(s)\n"
+    (List.length files) (List.length violations) (List.length waived);
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+      mkdir_p (Filename.dirname file);
+      let oc = open_out file in
+      output_string oc (Detlint.to_json ~files:(List.length files) findings);
+      close_out oc;
+      Printf.printf "detlint: wrote %s\n" file);
+  if violations <> [] then exit 1
