@@ -4,7 +4,12 @@
    paper claim (E1-E12, see EXPERIMENTS.md). Pass "full" for the full
    trial counts used in EXPERIMENTS.md; the default "quick" profile keeps
    the whole run under a minute. "--jobs N" sets the worker-domain count
-   for the trial loops; every table is bit-identical for every N.
+   for the trial loops; every table is bit-identical for every N. The run
+   is supervised: "--deadline-s S" arms a per-experiment watchdog,
+   "--resume" consumes chunk checkpoints left by an interrupted run, a
+   per-experiment failure/timeout record lands in
+   results/run_manifest.json, and the exit code is non-zero iff any
+   experiment failed.
 
    Part 2 — parallel throughput: times one run_trials workload at jobs = 1
    and jobs = max, checks the summaries match, and writes trials/sec to
@@ -23,18 +28,46 @@ let seed = 42
 (* Part 1: experiment tables                                           *)
 (* ------------------------------------------------------------------ *)
 
-let print_tables ~jobs profile =
+let print_tables ~jobs ~resume ~deadline_s profile =
   let label =
     match profile with Core.Experiments.Quick -> "quick" | Core.Experiments.Full -> "full"
   in
   Printf.printf
     "Reproduction tables (profile: %s, seed: %d) -- paper claims E1..E12\n\n"
     label seed;
-  List.iter
-    (fun tbl ->
-      print_endline (Stats.Table.render tbl);
-      print_newline ())
-    (Core.Experiments.all ~jobs profile ~seed)
+  (* Supervised regeneration: each experiment gets its own watchdog and
+     failure record, so a crash or timeout in E9 never loses E1-E8. *)
+  let ctx =
+    Core.Supervise.create ?deadline_s ~checkpoints:"results/checkpoints"
+      ~resume ()
+  in
+  let results =
+    List.map
+      (fun id ->
+        let f = Option.get (Core.Experiments.by_id id) in
+        let r =
+          Core.Supervise.run_experiment ctx ~id (fun () ->
+              f ~jobs ~sup:ctx profile ~seed)
+        in
+        (match r.Core.Supervise.table with
+        | Some tbl -> print_endline (Stats.Table.render tbl)
+        | None -> ());
+        (match r.Core.Supervise.status with
+        | Core.Supervise.Completed -> ()
+        | _ -> print_endline ("*** " ^ Core.Supervise.status_line r ^ " ***"));
+        print_newline ();
+        r)
+      Core.Experiments.ids
+  in
+  let profile_label = label in
+  Core.Supervise.write_manifest ~path:"results/run_manifest.json"
+    ~profile:profile_label ~seed ~jobs ~resume ~deadline_s results;
+  if Core.Supervise.any_failed results then begin
+    prerr_endline
+      "one or more experiments failed or timed out; see \
+       results/run_manifest.json";
+    Stdlib.exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: parallel throughput                                         *)
@@ -230,7 +263,19 @@ let () =
     in
     find args
   in
-  if not micro_only then print_tables ~jobs profile;
+  let resume = List.mem "--resume" args in
+  let deadline_s =
+    let rec find = function
+      | "--deadline-s" :: v :: _ -> (
+          match float_of_string_opt v with
+          | Some d when d > 0.0 -> Some d
+          | _ -> failwith ("bad --deadline-s value " ^ v))
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if not micro_only then print_tables ~jobs ~resume ~deadline_s profile;
   if not tables_only then begin
     parallel_bench ();
     run_bechamel ()

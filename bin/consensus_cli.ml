@@ -15,15 +15,26 @@ let seed_arg =
 let n_arg =
   Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
 
+(* Reject non-positive counts at the command line with a clear error
+   instead of silently coercing them to a default deeper down. *)
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be >= 1 (got %d)" what v))
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer (got %S)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int (Sim.Parallel.default_jobs ())
+    & opt (positive_int "JOBS") (Sim.Parallel.default_jobs ())
     & info [ "jobs" ] ~docv:"JOBS"
         ~doc:
           "Worker domains for the trial loops (default: the machine's \
-           recommended domain count). Results are bit-identical for every \
-           value.")
+           recommended domain count; must be >= 1). Results are \
+           bit-identical for every value.")
 
 let t_arg =
   Arg.(
@@ -32,7 +43,10 @@ let t_arg =
     & info [ "t" ] ~docv:"T" ~doc:"Adversary budget (default n-1).")
 
 let trials_arg =
-  Arg.(value & opt int 100 & info [ "trials" ] ~docv:"K" ~doc:"Trials to run.")
+  Arg.(
+    value
+    & opt (positive_int "K") 100
+    & info [ "trials" ] ~docv:"K" ~doc:"Trials to run (must be >= 1).")
 
 let rules_conv =
   let parse = function
@@ -243,49 +257,130 @@ let coinflip_cmd =
     term
 
 let experiments_cmd =
-  let run profile seed jobs which csv =
+  let run profile seed jobs which csv resume deadline_s =
+    Printexc.record_backtrace true;
     let profile =
       Option.value (Core.Experiments.profile_of_string profile)
         ~default:Core.Experiments.Quick
     in
-    let tables =
-      match which with
-      | [] -> Core.Experiments.all ~jobs profile ~seed
-      | ids ->
-          List.map
-            (fun id ->
-              match Core.Experiments.by_id id with
-              | Some f -> f ~jobs profile ~seed
-              | None -> failwith ("unknown experiment id " ^ id))
-            ids
+    let profile_label =
+      match profile with Core.Experiments.Quick -> "quick" | Full -> "full"
     in
-    List.iter
-      (fun tbl ->
-        if csv then print_endline (Stats.Table.to_csv tbl)
-        else begin
-          print_endline (Stats.Table.render tbl);
-          print_newline ()
-        end)
-      tables
+    let ids =
+      match which with [] -> Core.Experiments.ids | ids -> ids
+    in
+    let drivers :
+        (string
+        * (?jobs:int ->
+          ?sup:Core.Supervise.ctx ->
+          Core.Experiments.profile ->
+          seed:int ->
+          Stats.Table.t))
+        list =
+      List.map
+        (fun id ->
+          match Core.Experiments.by_id id with
+          | Some f -> (id, f)
+          | None -> failwith ("unknown experiment id " ^ id))
+        ids
+    in
+    (* One supervisor for the whole run: each experiment gets its own
+       watchdog deadline and failure record; a crash or timeout in one
+       experiment never loses the others. *)
+    let ctx =
+      Core.Supervise.create ?deadline_s ~checkpoints:"results/checkpoints" ~resume
+        ()
+    in
+    let results =
+      List.map
+        (fun (id, f) ->
+          let (f :
+                ?jobs:int ->
+                ?sup:Core.Supervise.ctx ->
+                Core.Experiments.profile ->
+                seed:int ->
+                Stats.Table.t) =
+            f
+          in
+          let r =
+            Core.Supervise.run_experiment ctx ~id (fun () ->
+                f ~jobs ~sup:ctx profile ~seed)
+          in
+          (match r.Core.Supervise.table with
+          | Some tbl ->
+              if csv then print_endline (Stats.Table.to_csv tbl)
+              else print_endline (Stats.Table.render tbl)
+          | None -> ());
+          (match r.Core.Supervise.status with
+          | Core.Supervise.Completed -> ()
+          | _ -> print_endline ("*** " ^ Core.Supervise.status_line r ^ " ***"));
+          if not csv then print_newline ();
+          r)
+        drivers
+    in
+    Core.Supervise.write_manifest ~path:"results/run_manifest.json"
+      ~profile:profile_label ~seed ~jobs ~resume ~deadline_s results;
+    if Core.Supervise.any_failed results then begin
+      prerr_endline
+        "one or more experiments failed or timed out; see \
+         results/run_manifest.json";
+      Stdlib.exit 1
+    end
   in
   let profile_arg =
     Arg.(
       value & opt string "quick"
       & info [ "profile" ] ~docv:"PROFILE" ~doc:"quick or full.")
   in
+  let experiment_id =
+    let parse s =
+      if List.mem s Core.Experiments.ids then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown experiment id %s (expected %s)" s
+                (String.concat ", " Core.Experiments.ids)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
   let which_arg =
     Arg.(
-      value & pos_all string []
+      value & pos_all experiment_id []
       & info [] ~docv:"IDS" ~doc:"Experiment ids (e1..e12); all if omitted.")
   in
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
   in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Consume chunk checkpoints left under results/checkpoints by an \
+             interrupted run instead of clearing them; the resumed tables \
+             are byte-identical to an uninterrupted run.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-experiment wall-clock deadline. A run past its deadline is \
+             cancelled cooperatively at the next chunk boundary and \
+             reported as TIMED OUT with its partial table.")
+  in
   let term =
-    Term.(const run $ profile_arg $ seed_arg $ jobs_arg $ which_arg $ csv_arg)
+    Term.(
+      const run $ profile_arg $ seed_arg $ jobs_arg $ which_arg $ csv_arg
+      $ resume_arg $ deadline_arg)
   in
   Cmd.v
-    (Cmd.info "experiments" ~doc:"Regenerate the paper-claim tables (E1-E12)")
+    (Cmd.info "experiments"
+       ~doc:
+         "Regenerate the paper-claim tables (E1-E12) under a supervisor: \
+          failures and timeouts are isolated per experiment, recorded in \
+          results/run_manifest.json, and make the exit code non-zero.")
     term
 
 let bounds_cmd =

@@ -6,14 +6,14 @@ type estimate = {
   ci : Stats.Ci.interval;
 }
 
-let control_probability ?(trials = 1000) ?jobs ~seed ~budget ~target ~strategy
-    game =
+let control_probability ?(trials = 1000) ?jobs ?cancel ~seed ~budget ~target
+    ~strategy game =
   if trials <= 0 then invalid_arg "Control.control_probability: trials";
   (* Trial [i] draws from an RNG derived from [(seed, i)], so the estimate
      is identical for every worker count (the count is order-independent
      anyway, but the samples themselves must not depend on scheduling). *)
-  let forced =
-    Sim.Parallel.fold_chunks ?jobs ~n:trials
+  let s =
+    Sim.Parallel.fold_chunks_supervised ?jobs ?cancel ~n:trials
       ~create:(fun () -> ref 0)
       ~work:(fun index acc ->
         let rng = Prng.Rng.of_seed_index ~seed ~index in
@@ -25,7 +25,16 @@ let control_probability ?(trials = 1000) ?jobs ~seed ~budget ~target ~strategy
       ~merge:(fun a b -> ref (!a + !b))
       ()
   in
-  let forced = !forced in
+  (match s.Sim.Parallel.failures with
+  | f :: _ ->
+      Printexc.raise_with_backtrace f.Sim.Parallel.exn f.Sim.Parallel.backtrace
+  | [] -> ());
+  (* An estimate over a truncated sample would silently change meaning, so
+     a watchdogged run that cannot finish raises instead of degrading. *)
+  if s.Sim.Parallel.cancelled then raise Sim.Parallel.Cancelled;
+  let forced =
+    match s.Sim.Parallel.value with Some r -> !r | None -> assert false
+  in
   {
     target;
     trials;
@@ -34,11 +43,12 @@ let control_probability ?(trials = 1000) ?jobs ~seed ~budget ~target ~strategy
     ci = Stats.Ci.wilson ~successes:forced trials;
   }
 
-let best_controllable_outcome ?trials ?jobs ~seed ~budget ~strategy game =
+let best_controllable_outcome ?trials ?jobs ?cancel ~seed ~budget ~strategy
+    game =
   let estimates =
     List.init game.Game.k (fun target ->
-        control_probability ?trials ?jobs ~seed:(seed + target) ~budget ~target
-          ~strategy game)
+        control_probability ?trials ?jobs ?cancel ~seed:(seed + target) ~budget
+          ~target ~strategy game)
   in
   match estimates with
   | [] -> invalid_arg "Control.best_controllable_outcome: game has no outcomes"

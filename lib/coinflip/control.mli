@@ -17,6 +17,7 @@ type estimate = {
 val control_probability :
   ?trials:int ->
   ?jobs:int ->
+  ?cancel:(unit -> bool) ->
   seed:int ->
   budget:int ->
   target:int ->
@@ -27,11 +28,16 @@ val control_probability :
     strategy forces [target] with the given budget. Trials run across
     [jobs] domains (default {!Sim.Parallel.default_jobs}); trial [i]'s RNG
     is derived from [(seed, i)] via {!Prng.Rng.of_seed_index}, so the
-    estimate is identical for every [jobs]. *)
+    estimate is identical for every [jobs]. [cancel] is a cooperative
+    watchdog polled at chunk boundaries; because a proportion over a
+    truncated sample would be a silently different estimate, cancellation
+    raises {!Sim.Parallel.Cancelled} rather than returning a partial
+    value. A raising trial is re-raised with its original backtrace. *)
 
 val best_controllable_outcome :
   ?trials:int ->
   ?jobs:int ->
+  ?cancel:(unit -> bool) ->
   seed:int ->
   budget:int ->
   strategy:Strategy.t ->

@@ -11,15 +11,17 @@ let pick p ~quick ~full = match p with Quick -> quick | Full -> full
 (* E1: one-round coin-flipping control (Corollary 2.2)                  *)
 (* ------------------------------------------------------------------ *)
 
-let e1_coin_control ?jobs p ~seed =
+let e1_coin_control ?jobs ?sup p ~seed =
   let table =
-    Stats.Table.create
-      ~title:
-        "E1  One-round coin control (Cor 2.2): Pr[adversary forces best \
-         outcome]"
-      ~columns:
-        [ "game"; "n"; "budget"; "best v"; "Pr[forced]"; "1-1/n"; "controls" ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           "E1  One-round coin control (Cor 2.2): Pr[adversary forces best \
+            outcome]"
+         ~columns:
+           [ "game"; "n"; "budget"; "best v"; "Pr[forced]"; "1-1/n"; "controls" ])
   in
+  let cancel = Supervise.cancel sup in
   let ns = pick p ~quick:[ 64; 256 ] ~full:[ 64; 256; 1024 ] in
   let trials = pick p ~quick:150 ~full:600 in
   List.iter
@@ -46,8 +48,9 @@ let e1_coin_control ?jobs p ~seed =
             (fun budget ->
               let budget = Stdlib.min budget n in
               let est =
-                Coinflip.Control.best_controllable_outcome ~trials ?jobs ~seed
-                  ~budget ~strategy:Coinflip.Strategy.best_available game
+                Coinflip.Control.best_controllable_outcome ~trials ?jobs
+                  ?cancel ~seed ~budget
+                  ~strategy:Coinflip.Strategy.best_available game
               in
               Stats.Table.add_row table
                 [
@@ -64,8 +67,8 @@ let e1_coin_control ?jobs p ~seed =
       (* The one-side-bias headline: majority0 cannot be pushed to 1 even
          with the whole population as budget. *)
       let est =
-        Coinflip.Control.control_probability ~trials ?jobs ~seed ~budget:n
-          ~target:1
+        Coinflip.Control.control_probability ~trials ?jobs ?cancel ~seed
+          ~budget:n ~target:1
           ~strategy:Coinflip.Strategy.best_available
           (Coinflip.Games.majority_default_zero n)
       in
@@ -89,8 +92,8 @@ let e1_coin_control ?jobs p ~seed =
         (fun budget ->
           let budget = Stdlib.min budget n in
           let est =
-            Coinflip.Control.best_controllable_outcome ~trials ?jobs ~seed ~budget
-              ~strategy:Coinflip.Strategy.best_available game
+            Coinflip.Control.best_controllable_outcome ~trials ?jobs ?cancel
+              ~seed ~budget ~strategy:Coinflip.Strategy.best_available game
           in
           Stats.Table.add_row table
             [
@@ -117,12 +120,14 @@ let e1_coin_control ?jobs p ~seed =
 (* E2: binomial tail lower bound (Lemma 4.4, Corollary 4.5)             *)
 (* ------------------------------------------------------------------ *)
 
-let e2_tail_bound p =
+let e2_tail_bound ?sup p =
   let table =
-    Stats.Table.create
-      ~title:
-        "E2  Binomial tail vs Lemma 4.4 bound: Pr[x - E(x) >= s*sqrt(n)]"
-      ~columns:[ "n"; "s"; "exact tail"; "paper bound"; "exact/bound"; "holds" ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           "E2  Binomial tail vs Lemma 4.4 bound: Pr[x - E(x) >= s*sqrt(n)]"
+         ~columns:
+           [ "n"; "s"; "exact tail"; "paper bound"; "exact/bound"; "holds" ])
   in
   let ns = pick p ~quick:[ 64; 1024 ] ~full:[ 64; 256; 1024; 4096; 16384 ] in
   List.iter
@@ -151,12 +156,38 @@ let e2_tail_bound p =
 (* Shared runners for the protocol experiments                          *)
 (* ------------------------------------------------------------------ *)
 
-let synran_summary ?(rules = Onesided.paper) ?(max_rounds = 2000) ?jobs ~n ~t
+(* Supervised trial loop shared by the SynRan experiments. [exp] names the
+   fold for the checkpoint key; every parameter that shapes trial content
+   (population, t, rules, round cap) is appended so no two distinct
+   computations can share a key. *)
+let supervised_summary ?(max_rounds = 2000) ?jobs ?sup ?(gen = `Random) ~exp
+    ~n ~t ~trials ~seed protocol make_adversary =
+  let chunk_size = Sim.Parallel.default_chunk_size in
+  let gen_inputs, gen_label =
+    match gen with
+    | `Random -> (Sim.Runner.input_gen_random ~n, "random")
+    | `Split -> (Sim.Runner.input_gen_split ~n, "split")
+  in
+  let checkpoint =
+    Supervise.checkpoint sup
+      ~exp:
+        (Printf.sprintf "%s;n=%d;t=%d;mr=%d;gen=%s" exp n t max_rounds
+           gen_label)
+      ~seed ~chunk_size ~n:trials
+  in
+  let r =
+    Sim.Runner.run_trials_supervised ~max_rounds ?jobs ~chunk_size
+      ?cancel:(Supervise.cancel sup) ?checkpoint ~trials ~seed ~gen_inputs ~t
+      protocol make_adversary
+  in
+  Supervise.commit sup r
+
+let synran_summary ?(rules = Onesided.paper) ?max_rounds ?jobs ?sup ~exp ~n ~t
     ~trials ~seed make_adversary =
   let protocol = Synran.protocol ~rules n in
-  Sim.Runner.run_trials ~max_rounds ?jobs ~trials ~seed
-    ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-    ~t protocol make_adversary
+  supervised_summary ?max_rounds ?jobs ?sup
+    ~exp:(exp ^ ";rules=" ^ rules.Onesided.label)
+    ~n ~t ~trials ~seed protocol make_adversary
 
 let band ?(config = Lb_adversary.default_config) adversary_rules =
   Lb_adversary.band_control ~config ~rules:adversary_rules
@@ -166,17 +197,18 @@ let band ?(config = Lb_adversary.default_config) adversary_rules =
 (* E3: rounds vs n at t = n-1 (Theorem 2)                              *)
 (* ------------------------------------------------------------------ *)
 
-let e3_scaling_n ?jobs p ~seed =
+let e3_scaling_n ?jobs ?sup p ~seed =
   let table =
-    Stats.Table.create
-      ~title:
-        "E3  SynRan at t = n-1: E[rounds] vs sqrt(n/log n) (Thm 2; fit on \
-         the voting attack)"
-      ~columns:
-        [
-          "n"; "t"; "strongest mean"; "voting mean"; "ci lo"; "ci hi";
-          "theory shape"; "fit c*shape";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           "E3  SynRan at t = n-1: E[rounds] vs sqrt(n/log n) (Thm 2; fit on \
+            the voting attack)"
+         ~columns:
+           [
+             "n"; "t"; "strongest mean"; "voting mean"; "ci lo"; "ci hi";
+             "theory shape"; "fit c*shape";
+           ])
   in
   let ns = pick p ~quick:[ 32; 64; 128 ] ~full:[ 32; 64; 128; 256; 512 ] in
   let trials = pick p ~quick:40 ~full:200 in
@@ -185,12 +217,12 @@ let e3_scaling_n ?jobs p ~seed =
       (fun n ->
         let t = n - 1 in
         let strongest =
-          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
-              band Onesided.paper)
+          synran_summary ?jobs ?sup ~exp:"e3-strongest" ~n ~t ~trials ~seed
+            (fun () -> band Onesided.paper)
         in
         let voting =
-          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
-              band ~config:Lb_adversary.voting_config Onesided.paper)
+          synran_summary ?jobs ?sup ~exp:"e3-voting" ~n ~t ~trials ~seed
+            (fun () -> band ~config:Lb_adversary.voting_config Onesided.paper)
         in
         let shape = Theory.upper_bound_large_t_shape ~n in
         (n, t, strongest, voting, shape))
@@ -234,20 +266,21 @@ let e3_scaling_n ?jobs p ~seed =
 (* E4: rounds vs t at fixed n (Theorem 3)                              *)
 (* ------------------------------------------------------------------ *)
 
-let e4_scaling_t ?jobs p ~seed =
+let e4_scaling_t ?jobs ?sup p ~seed =
   let n = pick p ~quick:96 ~full:256 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E4  SynRan at n = %d: E[rounds] vs t (Thm 3 shape; fit on the \
-            strongest adversary)"
-           n)
-      ~columns:
-        [
-          "t"; "strongest mean"; "voting mean"; "mean kills"; "theory shape";
-          "fit a+c*shape";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E4  SynRan at n = %d: E[rounds] vs t (Thm 3 shape; fit on the \
+               strongest adversary)"
+              n)
+         ~columns:
+           [
+             "t"; "strongest mean"; "voting mean"; "mean kills"; "theory shape";
+             "fit a+c*shape";
+           ])
   in
   let trials = pick p ~quick:40 ~full:200 in
   let fractions = [ 0.1; 0.25; 0.5; 0.75; 0.9 ] in
@@ -259,12 +292,12 @@ let e4_scaling_t ?jobs p ~seed =
     List.map
       (fun t ->
         let strongest =
-          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
-              band Onesided.paper)
+          synran_summary ?jobs ?sup ~exp:"e4-strongest" ~n ~t ~trials ~seed
+            (fun () -> band Onesided.paper)
         in
         let voting =
-          synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
-              band ~config:Lb_adversary.voting_config Onesided.paper)
+          synran_summary ?jobs ?sup ~exp:"e4-voting" ~n ~t ~trials ~seed
+            (fun () -> band ~config:Lb_adversary.voting_config Onesided.paper)
         in
         (t, strongest, voting, Theory.tight_bound_shape ~n ~t))
       ts
@@ -304,27 +337,28 @@ let e4_scaling_t ?jobs p ~seed =
 (* E5: small-n adversary comparison (Theorem 1)                        *)
 (* ------------------------------------------------------------------ *)
 
-let e5_small_n_adversaries ?jobs p ~seed =
+let e5_small_n_adversaries ?jobs ?sup p ~seed =
   let n = pick p ~quick:10 ~full:16 in
   let t = n - 2 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E5  Forced rounds at n = %d, t = %d: adaptive vs oblivious (Thm 1)"
-           n t)
-      ~columns:
-        [
-          "adversary"; "trials"; "mean rounds"; "p10 rounds"; "max rounds";
-          "mean kills";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E5  Forced rounds at n = %d, t = %d: adaptive vs oblivious \
+               (Thm 1)"
+              n t)
+         ~columns:
+           [
+             "adversary"; "trials"; "mean rounds"; "p10 rounds"; "max rounds";
+             "mean kills";
+           ])
   in
   let trials = pick p ~quick:20 ~full:60 in
   let protocol = Synran.protocol n in
-  let run_simple make_adversary =
-    Sim.Runner.run_trials ~max_rounds:500 ?jobs ~trials ~seed
-      ~gen_inputs:(Sim.Runner.input_gen_split ~n)
-      ~t protocol make_adversary
+  let run_simple name make_adversary =
+    supervised_summary ~max_rounds:500 ?jobs ?sup ~gen:`Split
+      ~exp:("e5-" ^ name) ~n ~t ~trials ~seed protocol make_adversary
   in
   (* p10 = the round count exceeded in 90% of runs: the "with high
      probability" phrasing of Theorem 1, empirically. *)
@@ -344,26 +378,36 @@ let e5_small_n_adversaries ?jobs p ~seed =
         Stats.Table.Float (Stats.Welford.mean s.Sim.Runner.kills);
       ]
   in
-  add_summary "null" (run_simple (fun () -> Sim.Adversary.null));
+  add_summary "null" (run_simple "null" (fun () -> Sim.Adversary.null));
   add_summary "random-crash p=0.2"
-    (run_simple (fun () -> Baselines.Adversaries.random_crash ~p:0.2));
+    (run_simple "random-crash" (fun () ->
+         Baselines.Adversaries.random_crash ~p:0.2));
   add_summary "static-random"
-    (run_simple (fun () ->
+    (run_simple "static-random" (fun () ->
          Baselines.Adversaries.static_random ~seed ~n ~budget:t ~horizon:8));
   add_summary "drip 1/round"
-    (run_simple (fun () -> Baselines.Adversaries.drip ~per_round:1));
+    (run_simple "drip" (fun () -> Baselines.Adversaries.drip ~per_round:1));
   let small_band () =
     Lb_adversary.band_control
       ~config:{ Lb_adversary.default_config with min_active = 4 }
       ~rules:Onesided.paper ~bit_of_msg:Synran.bit_of_msg ()
   in
-  add_summary "band-control" (run_simple small_band);
+  add_summary "band-control" (run_simple "band-control" small_band);
   (* Monte-Carlo valency adversary: its own trial loop, with the same
      per-index seeding discipline as Runner so the summary is identical
      for every worker count. *)
   let mc_trials = pick p ~quick:6 ~full:20 in
+  let mc_chunk_size = Sim.Parallel.default_chunk_size in
+  let mc_checkpoint =
+    Supervise.checkpoint sup
+      ~exp:(Printf.sprintf "e5-mc-valency;n=%d;t=%d;mr=300" n t)
+      ~seed:(seed + 17) ~chunk_size:mc_chunk_size ~n:mc_trials
+  in
+  let mc_saved, mc_persist = Supervise.hooks mc_checkpoint in
   let rounds, kills =
-    Sim.Parallel.fold_chunks ?jobs ~n:mc_trials
+    Sim.Parallel.fold_chunks_supervised ?jobs ~chunk_size:mc_chunk_size
+      ?cancel:(Supervise.cancel sup) ?saved:mc_saved ?persist:mc_persist
+      ~n:mc_trials
       ~create:(fun () -> (Stats.Welford.create (), Stats.Welford.create ()))
       ~work:(fun index (rounds, kills) ->
         let rng = Prng.Rng.of_seed_index ~seed:(seed + 17) ~index in
@@ -379,6 +423,7 @@ let e5_small_n_adversaries ?jobs p ~seed =
       ~merge:(fun (ra, ka) (rb, kb) ->
         (Stats.Welford.merge ra rb, Stats.Welford.merge ka kb))
       ()
+    |> Supervise.commit_fold sup ?checkpoint:mc_checkpoint
   in
   Stats.Table.add_row table
     [
@@ -404,18 +449,19 @@ let e5_small_n_adversaries ?jobs p ~seed =
 (* E6: deterministic t+1 vs SynRan (Section 1)                         *)
 (* ------------------------------------------------------------------ *)
 
-let e6_deterministic_crossover ?jobs p ~seed =
+let e6_deterministic_crossover ?jobs ?sup p ~seed =
   let n = pick p ~quick:64 ~full:128 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E6  FloodSet t+1 rounds vs SynRan E[rounds], n = %d" n)
-      ~columns:
-        [
-          "t"; "floodset rounds"; "early-stop (f=t/4)"; "synran mean";
-          "synran wins"; "theory shape";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E6  FloodSet t+1 rounds vs SynRan E[rounds], n = %d" n)
+         ~columns:
+           [
+             "t"; "floodset rounds"; "early-stop (f=t/4)"; "synran mean";
+             "synran wins"; "theory shape";
+           ])
   in
   let trials = pick p ~quick:30 ~full:120 in
   let fractions = [ 0.05; 0.1; 0.25; 0.5; 0.75 ] in
@@ -445,16 +491,15 @@ let e6_deterministic_crossover ?jobs p ~seed =
          t/4 failures materializing it stops far earlier — the classic
          refinement the paper's t+1 strawman admits. *)
       let es_summary =
-        Sim.Runner.run_trials ~max_rounds:(t + 2) ?jobs ~trials ~seed
-          ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-          ~t
+        supervised_summary ~max_rounds:(t + 2) ?jobs ?sup ~exp:"e6-earlystop"
+          ~n ~t ~trials ~seed
           (Baselines.Early_stop.protocol ~rounds:(t + 1) ())
           (fun () ->
             Baselines.Adversaries.drip ~per_round:(Stdlib.max 1 (t / 4)))
       in
       let s =
-        synran_summary ?jobs ~n ~t ~trials ~seed (fun () ->
-            band Onesided.paper)
+        synran_summary ?jobs ?sup ~exp:"e6-synran" ~n ~t ~trials ~seed
+          (fun () -> band Onesided.paper)
       in
       let mean = Sim.Runner.mean_rounds s in
       Stats.Table.add_row table
@@ -473,17 +518,18 @@ let e6_deterministic_crossover ?jobs p ~seed =
 (* E7: adaptive vs oblivious with the same budget (Section 1.2)         *)
 (* ------------------------------------------------------------------ *)
 
-let e7_nonadaptive ?jobs p ~seed =
+let e7_nonadaptive ?jobs ?sup p ~seed =
   let table =
-    Stats.Table.create
-      ~title:
-        "E7  Adaptivity and the coin's game: rounds forced and kills per \
-         stalled round (CMS89 contrast)"
-      ~columns:
-        [
-          "n"; "protocol"; "adversary"; "mean rounds"; "mean kills";
-          "kills/round";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           "E7  Adaptivity and the coin's game: rounds forced and kills per \
+            stalled round (CMS89 contrast)"
+         ~columns:
+           [
+             "n"; "protocol"; "adversary"; "mean rounds"; "mean kills";
+             "kills/round";
+           ])
   in
   let ns = pick p ~quick:[ 64; 128 ] ~full:[ 64; 128; 256 ] in
   let trials = pick p ~quick:40 ~full:150 in
@@ -501,9 +547,9 @@ let e7_nonadaptive ?jobs p ~seed =
       in
       let row proto_name protocol adv_name make_adversary =
         let s =
-          Sim.Runner.run_trials ~max_rounds:3000 ?jobs ~trials ~seed
-            ~gen_inputs:(Sim.Runner.input_gen_split ~n)
-            ~t protocol make_adversary
+          supervised_summary ~max_rounds:3000 ?jobs ?sup ~gen:`Split
+            ~exp:(Printf.sprintf "e7-%s-%s" proto_name adv_name)
+            ~n ~t ~trials ~seed protocol make_adversary
         in
         let rounds = Sim.Runner.mean_rounds s in
         let kills = Stats.Welford.mean s.Sim.Runner.kills in
@@ -537,24 +583,25 @@ let e7_nonadaptive ?jobs p ~seed =
 (* E8: rule ablation (Section 4)                                        *)
 (* ------------------------------------------------------------------ *)
 
-let e8_ablation ?jobs p ~seed =
+let e8_ablation ?jobs ?sup p ~seed =
   (* n = 48 on both profiles: the symmetric band's agreement failures are a
      small-population phenomenon (the post-stop thinning must land the
      survivors' 1-count inside the widened flip band). *)
   let n = 48 in
   let t = n - 1 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E8  Rule ablation at n = %d: the zero rule and the off-centre \
-            flip band"
-           n)
-      ~columns:
-        [
-          "rules"; "scenario"; "mean rounds"; "non-term"; "validity errs";
-          "agreement errs"; "mean kills";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E8  Rule ablation at n = %d: the zero rule and the off-centre \
+               flip band"
+              n)
+         ~columns:
+           [
+             "rules"; "scenario"; "mean rounds"; "non-term"; "validity errs";
+             "agreement errs"; "mean kills";
+           ])
   in
   let trials = pick p ~quick:60 ~full:250 in
   let variants = [ Onesided.paper; Onesided.no_zero_rule; Onesided.symmetric ] in
@@ -572,8 +619,18 @@ let e8_ablation ?jobs p ~seed =
   in
   let scenario rules name gen_inputs make_adversary =
     let protocol = Synran.protocol ~rules n in
+    let chunk_size = Sim.Parallel.default_chunk_size in
+    let checkpoint =
+      Supervise.checkpoint sup
+        ~exp:
+          (Printf.sprintf "e8-%s-%s;n=%d;t=%d;mr=400" rules.Onesided.label
+             name n t)
+        ~seed ~chunk_size ~n:trials
+    in
+    let saved, persist = Supervise.hooks checkpoint in
     let rounds, kills, non_term, validity, agreement =
-      Sim.Parallel.fold_chunks ?jobs ~n:trials
+      Sim.Parallel.fold_chunks_supervised ?jobs ~chunk_size
+        ?cancel:(Supervise.cancel sup) ?saved ?persist ~n:trials
         ~create:(fun () ->
           (Stats.Welford.create (), Stats.Welford.create (), ref 0, ref 0, ref 0))
         ~work:(fun index (rounds, kills, non_term, validity, agreement) ->
@@ -597,6 +654,7 @@ let e8_ablation ?jobs p ~seed =
             ref (!va + !vb),
             ref (!aa + !ab) ))
         ()
+      |> Supervise.commit_fold sup ?checkpoint
     in
     Stats.Table.add_row table
       [
@@ -644,18 +702,19 @@ let e8_ablation ?jobs p ~seed =
 (* E9: the asynchronous contrast (Section 1.2)                          *)
 (* ------------------------------------------------------------------ *)
 
-let e9_async_contrast p ~seed =
+let e9_async_contrast ?sup p ~seed =
   let table =
-    Stats.Table.create
-      ~title:
-        "E9  Async Ben-Or phases vs scheduler: exponential under the \
-         splitter, O(1) when fair (Sec 1.2 contrast with the synchronous \
-         Theta(sqrt(n/log n)))"
-      ~columns:
-        [
-          "n"; "t"; "scheduler"; "trials"; "mean phases"; "mean flips";
-          "non-term"; "2^(n-1)";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           "E9  Async Ben-Or phases vs scheduler: exponential under the \
+            splitter, O(1) when fair (Sec 1.2 contrast with the synchronous \
+            Theta(sqrt(n/log n)))"
+         ~columns:
+           [
+             "n"; "t"; "scheduler"; "trials"; "mean phases"; "mean flips";
+             "non-term"; "2^(n-1)";
+           ])
   in
   let ns = pick p ~quick:[ 4; 6; 8 ] ~full:[ 4; 6; 8; 10 ] in
   List.iter
@@ -663,6 +722,9 @@ let e9_async_contrast p ~seed =
       let t = (n - 1) / 2 in
       let protocol = Async.Benor.protocol ~t in
       let row name scheduler trials =
+        (* The async engine is sequential; the watchdog can only fire at
+           row boundaries. *)
+        Supervise.check sup;
         let s =
           Async.Engine.run_trials ~max_steps:400_000
             ~phase_of:Async.Benor.phase ~trials ~seed
@@ -693,18 +755,19 @@ let e9_async_contrast p ~seed =
 (* E10: what weakening the adversary buys (Section 1)                   *)
 (* ------------------------------------------------------------------ *)
 
-let e10_coin_assumptions ?jobs p ~seed =
+let e10_coin_assumptions ?jobs ?sup p ~seed =
   let n = pick p ~quick:96 ~full:192 in
   let t = n - 1 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E10  Coin assumptions at n = %d, t = %d: private vs leader vs \
-            shared-oracle coin (Sec 1: O(1) under a weakened adversary)"
-           n t)
-      ~columns:
-        [ "coin"; "adversary"; "mean rounds"; "mean kills"; "safety errs" ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E10  Coin assumptions at n = %d, t = %d: private vs leader vs \
+               shared-oracle coin (Sec 1: O(1) under a weakened adversary)"
+              n t)
+         ~columns:
+           [ "coin"; "adversary"; "mean rounds"; "mean kills"; "safety errs" ])
   in
   let trials = pick p ~quick:40 ~full:150 in
   let coins =
@@ -719,9 +782,9 @@ let e10_coin_assumptions ?jobs p ~seed =
       let protocol = Synran.protocol ~coin n in
       let row adv_name make_adversary =
         let s =
-          Sim.Runner.run_trials ~max_rounds:2000 ?jobs ~trials ~seed
-            ~gen_inputs:(Sim.Runner.input_gen_random ~n)
-            ~t protocol make_adversary
+          supervised_summary ~max_rounds:2000 ?jobs ?sup
+            ~exp:(Printf.sprintf "e10-%s-%s" coin_name adv_name)
+            ~n ~t ~trials ~seed protocol make_adversary
         in
         Stats.Table.add_row table
           [
@@ -746,25 +809,27 @@ let e10_coin_assumptions ?jobs p ~seed =
 (* E11: the Byzantine neighbourhood (Section 1 context)                 *)
 (* ------------------------------------------------------------------ *)
 
-let e11_byzantine p ~seed =
+let e11_byzantine ?sup p ~seed =
   let n = pick p ~quick:17 ~full:26 in
   let t = (n - 1) / 5 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E11  Byzantine neighbourhood at n = %d, t = %d: deterministic \
-            t+1 phases [GM93] vs oracle-coin O(1) [Rab83]"
-           n t)
-      ~columns:
-        [
-          "protocol"; "adversary"; "mean rounds"; "non-term"; "agree errs";
-          "valid errs";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E11  Byzantine neighbourhood at n = %d, t = %d: deterministic \
+               t+1 phases [GM93] vs oracle-coin O(1) [Rab83]"
+              n t)
+         ~columns:
+           [
+             "protocol"; "adversary"; "mean rounds"; "non-term"; "agree errs";
+             "valid errs";
+           ])
   in
   let trials = pick p ~quick:60 ~full:200 in
   let gen rng = Prng.Sample.random_bits rng n in
   let row proto_name protocol ~t_actual adv_name adversary =
+    Supervise.check sup;
     let s =
       Byz.Engine.run_trials ~max_rounds:500 ~trials ~seed ~gen_inputs:gen
         ~t:t_actual protocol adversary
@@ -811,20 +876,21 @@ let e11_byzantine p ~seed =
 (* E12: Chor-Coan group coins (Section 1.2)                             *)
 (* ------------------------------------------------------------------ *)
 
-let e12_chor_coan p ~seed =
+let e12_chor_coan ?sup p ~seed =
   let n = pick p ~quick:61 ~full:101 in
   let t = (n - 1) / 5 in
   let table =
-    Stats.Table.create
-      ~title:
-        (Printf.sprintf
-           "E12  Chor-Coan group coins at n = %d, t = %d: adaptive costs \
-            t/g rounds, non-adaptive O(1) [CC85]"
-           n t)
-      ~columns:
-        [
-          "group size"; "adversary"; "mean rounds"; "t/g + 2"; "agree errs";
-        ]
+    Supervise.register sup
+      (Stats.Table.create
+         ~title:
+           (Printf.sprintf
+              "E12  Chor-Coan group coins at n = %d, t = %d: adaptive costs \
+               t/g rounds, non-adaptive O(1) [CC85]"
+              n t)
+         ~columns:
+           [
+             "group size"; "adversary"; "mean rounds"; "t/g + 2"; "agree errs";
+           ])
   in
   let trials = pick p ~quick:50 ~full:150 in
   let gen rng = Prng.Sample.random_bits rng n in
@@ -833,6 +899,7 @@ let e12_chor_coan p ~seed =
     (fun g ->
       let protocol = Byz.Chor_coan.protocol ~t ~group_size:g in
       let row name adversary =
+        Supervise.check sup;
         let s =
           Byz.Engine.run_trials ~max_rounds:500 ~trials ~seed ~gen_inputs:gen
             ~t protocol adversary
@@ -880,15 +947,15 @@ let ids =
 
 let by_id = function
   | "e1" -> Some e1_coin_control
-  | "e2" -> Some (fun ?jobs:_ p ~seed:_ -> e2_tail_bound p)
+  | "e2" -> Some (fun ?jobs:_ ?sup p ~seed:_ -> e2_tail_bound ?sup p)
   | "e3" -> Some e3_scaling_n
   | "e4" -> Some e4_scaling_t
   | "e5" -> Some e5_small_n_adversaries
   | "e6" -> Some e6_deterministic_crossover
   | "e7" -> Some e7_nonadaptive
   | "e8" -> Some e8_ablation
-  | "e9" -> Some (fun ?jobs:_ p ~seed -> e9_async_contrast p ~seed)
+  | "e9" -> Some (fun ?jobs:_ ?sup p ~seed -> e9_async_contrast ?sup p ~seed)
   | "e10" -> Some e10_coin_assumptions
-  | "e11" -> Some (fun ?jobs:_ p ~seed -> e11_byzantine p ~seed)
-  | "e12" -> Some (fun ?jobs:_ p ~seed -> e12_chor_coan p ~seed)
+  | "e11" -> Some (fun ?jobs:_ ?sup p ~seed -> e11_byzantine ?sup p ~seed)
+  | "e12" -> Some (fun ?jobs:_ ?sup p ~seed -> e12_chor_coan ?sup p ~seed)
   | _ -> None

@@ -1,0 +1,267 @@
+(* Experiment-level supervision: per-experiment wall-clock watchdogs,
+   chunk checkpoint/resume plumbing, structured failure capture, and the
+   machine-readable run manifest. See supervise.mli for the contract. *)
+
+let now () =
+  (Unix.gettimeofday
+  [@detlint.allow
+    "R2: the watchdog deadline and the manifest's elapsed times are \
+     intentionally wall-clock; they only gate cooperative cancellation \
+     and reporting and never feed an experiment table, an RNG, or any \
+     other deterministic output"]) ()
+
+type status =
+  | Completed
+  | Failed of { message : string; backtrace : string }
+  | Timed_out
+
+type result = {
+  id : string;
+  table : Stats.Table.t option;
+  status : status;
+  elapsed_s : float;
+  chunks_done : int;
+  chunks_resumed : int;
+  completed_trials : int;
+  total_trials : int;
+}
+
+type ctx = {
+  deadline_s : float option;
+  ckpt_root : string option;
+  resume : bool;
+  mutable deadline_at : float option;
+  mutable table : Stats.Table.t option;
+  mutable chunks_done : int;
+  mutable chunks_resumed : int;
+  mutable completed_trials : int;
+  mutable total_trials : int;
+  mutable last_failure : Sim.Parallel.chunk_failed option;
+}
+
+let create ?deadline_s ?checkpoints ?(resume = false) () =
+  {
+    deadline_s;
+    ckpt_root = checkpoints;
+    resume;
+    deadline_at = None;
+    table = None;
+    chunks_done = 0;
+    chunks_resumed = 0;
+    completed_trials = 0;
+    total_trials = 0;
+    last_failure = None;
+  }
+
+let register sup table =
+  (match sup with Some c -> c.table <- Some table | None -> ());
+  table
+
+let cancel sup =
+  match sup with
+  | None -> None
+  | Some c -> (
+      match c.deadline_at with
+      | None -> None
+      (* The closure captures the deadline as an immutable float: worker
+         domains polling it never read mutable ctx state. *)
+      | Some at -> Some (fun () -> now () > at))
+
+let check sup =
+  match sup with
+  | None -> ()
+  | Some c -> (
+      match c.deadline_at with
+      | Some at when now () > at -> raise Sim.Parallel.Cancelled
+      | _ -> ())
+
+let checkpoint sup ~exp ~seed ~chunk_size ~n =
+  match sup with
+  | None -> None
+  | Some c -> (
+      match c.ckpt_root with
+      | None -> None
+      | Some root ->
+          let ck = Sim.Checkpoint.create ~root ~exp ~seed ~chunk_size ~n in
+          (* Without --resume the run is fresh by definition: drop any
+             stale chunks now so they can neither be consumed nor mix
+             with this run's files. *)
+          if not c.resume then Sim.Checkpoint.clear ck;
+          Some ck)
+
+let hooks = function
+  | None -> (None, None)
+  | Some ck ->
+      ( Some (fun chunk -> Sim.Checkpoint.load ck ~chunk),
+        Some (fun chunk acc -> Sim.Checkpoint.store ck ~chunk acc) )
+
+let note_fold sup (s : 'a Sim.Parallel.supervised) =
+  match sup with
+  | None -> ()
+  | Some c ->
+      c.chunks_done <- c.chunks_done + s.Sim.Parallel.chunks_done;
+      c.chunks_resumed <- c.chunks_resumed + s.Sim.Parallel.chunks_resumed
+
+let commit_fold sup ?checkpoint (s : 'a Sim.Parallel.supervised) =
+  note_fold sup s;
+  let complete =
+    s.Sim.Parallel.chunks_done = s.Sim.Parallel.chunks_total
+    && s.Sim.Parallel.failures = []
+  in
+  (match checkpoint with
+  | Some ck when complete -> Sim.Checkpoint.clear ck
+  | _ -> ());
+  match s.Sim.Parallel.failures with
+  | f :: _ ->
+      (match sup with Some c -> c.last_failure <- Some f | None -> ());
+      Printexc.raise_with_backtrace f.Sim.Parallel.exn f.Sim.Parallel.backtrace
+  | [] -> (
+      if s.Sim.Parallel.cancelled then raise Sim.Parallel.Cancelled;
+      match s.Sim.Parallel.value with Some v -> v | None -> assert false)
+
+let commit sup (r : Sim.Runner.report) =
+  (match sup with
+  | None -> ()
+  | Some c ->
+      c.chunks_done <- c.chunks_done + r.Sim.Runner.chunks_done;
+      c.chunks_resumed <- c.chunks_resumed + r.Sim.Runner.chunks_resumed;
+      c.completed_trials <- c.completed_trials + r.Sim.Runner.completed_trials;
+      c.total_trials <- c.total_trials + r.Sim.Runner.total_trials);
+  match r.Sim.Runner.failures with
+  | f :: _ ->
+      (match sup with Some c -> c.last_failure <- Some f | None -> ());
+      Printexc.raise_with_backtrace f.Sim.Parallel.exn f.Sim.Parallel.backtrace
+  | [] -> (
+      if r.Sim.Runner.cancelled then raise Sim.Parallel.Cancelled;
+      match r.Sim.Runner.partial with Some s -> s | None -> assert false)
+
+let run_experiment ctx ~id f =
+  ctx.table <- None;
+  ctx.chunks_done <- 0;
+  ctx.chunks_resumed <- 0;
+  ctx.completed_trials <- 0;
+  ctx.total_trials <- 0;
+  ctx.last_failure <- None;
+  ctx.deadline_at <- Option.map (fun d -> now () +. d) ctx.deadline_s;
+  let t0 = now () in
+  let finish table status =
+    {
+      id;
+      table;
+      status;
+      elapsed_s = now () -. t0;
+      chunks_done = ctx.chunks_done;
+      chunks_resumed = ctx.chunks_resumed;
+      completed_trials = ctx.completed_trials;
+      total_trials = ctx.total_trials;
+    }
+  in
+  match f () with
+  | table -> finish (Some table) Completed
+  | exception Sim.Parallel.Cancelled -> finish ctx.table Timed_out
+  | exception exn ->
+      let backtrace =
+        Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+      in
+      let message =
+        match ctx.last_failure with
+        | Some f -> Sim.Parallel.pp_chunk_failed f
+        | None -> Printexc.to_string exn
+      in
+      finish ctx.table (Failed { message; backtrace })
+
+let failed r =
+  match r.status with Completed -> false | Failed _ | Timed_out -> true
+
+let any_failed results = List.exists failed results
+
+let status_line r =
+  match r.status with
+  | Completed ->
+      Printf.sprintf "%s: completed in %.1f s (%d chunks%s)" r.id r.elapsed_s
+        r.chunks_done
+        (if r.chunks_resumed > 0 then
+           Printf.sprintf ", %d resumed" r.chunks_resumed
+         else "")
+  | Timed_out ->
+      (* Inline folds that track no trial counters (E1's game loops) leave
+         the counts at zero; print them only when they say something. *)
+      let progress =
+        if r.chunks_done = 0 && r.total_trials = 0 then ""
+        else
+          Printf.sprintf " (%d chunks, %d/%d trials completed)" r.chunks_done
+            r.completed_trials r.total_trials
+      in
+      Printf.sprintf "%s: TIMED OUT after %.1f s — partial table above%s" r.id
+        r.elapsed_s progress
+  | Failed { message; _ } ->
+      Printf.sprintf
+        "%s: FAILED after %.1f s — %s (%d chunks completed before the \
+         failure)"
+        r.id r.elapsed_s message r.chunks_done
+
+let status_string = function
+  | Completed -> "completed"
+  | Failed _ -> "failed"
+  | Timed_out -> "timed_out"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let write_manifest ~path ~profile ~seed ~jobs ~resume ~deadline_s results =
+  let dir = Filename.dirname path in
+  if dir <> "" && dir <> "." && not (Sys.file_exists dir) then
+    Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"run_manifest/v1\",\n\
+        \  \"profile\": \"%s\",\n\
+        \  \"seed\": %d,\n\
+        \  \"jobs\": %d,\n\
+        \  \"resume\": %b,\n\
+        \  \"deadline_s\": %s,\n\
+        \  \"experiments\": [\n"
+        (json_escape profile) seed jobs resume
+        (match deadline_s with
+        | Some d -> Printf.sprintf "%g" d
+        | None -> "null");
+      let last = List.length results - 1 in
+      List.iteri
+        (fun i r ->
+          let failure =
+            match r.status with
+            | Completed -> "null"
+            | Timed_out -> "\"timed out\""
+            | Failed { message; _ } ->
+                Printf.sprintf "\"%s\"" (json_escape message)
+          in
+          Printf.fprintf oc
+            "    { \"id\": \"%s\", \"status\": \"%s\", \"elapsed_s\": %.3f, \
+             \"chunks_done\": %d, \"chunks_resumed\": %d, \
+             \"completed_trials\": %d, \"total_trials\": %d, \"failure\": \
+             %s }%s\n"
+            (json_escape r.id)
+            (status_string r.status)
+            r.elapsed_s r.chunks_done r.chunks_resumed r.completed_trials
+            r.total_trials failure
+            (if i = last then "" else ","))
+        results;
+      Printf.fprintf oc "  ],\n  \"failed\": %d\n}\n"
+        (List.length (List.filter failed results)))

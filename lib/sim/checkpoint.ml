@@ -1,0 +1,71 @@
+type t = { dir : string; key : string }
+
+(* Keep directory names portable: the experiment id may contain slashes or
+   spaces in principle; everything outside [A-Za-z0-9._-] becomes '_'. *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    s
+
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create ~root ~exp ~seed ~chunk_size ~n =
+  let dir = Filename.concat root (Printf.sprintf "%s-%d" (sanitize exp) seed) in
+  let key =
+    Printf.sprintf "exp=%s;seed=%d;chunk_size=%d;n=%d" exp seed chunk_size n
+  in
+  { dir; key }
+
+let dir t = t.dir
+
+let chunk_file t c = Filename.concat t.dir (Printf.sprintf "chunk-%d" c)
+
+let store t ~chunk acc =
+  mkdir_p t.dir;
+  let path = chunk_file t chunk in
+  (* Write-then-rename so a killed run never leaves a truncated chunk file
+     behind; the rename target is per-chunk, so concurrent workers storing
+     distinct chunks need no locking. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc t.key;
+      output_char oc '\n';
+      Marshal.to_channel oc acc []);
+  Sys.rename tmp path
+
+let load t ~chunk =
+  let path = chunk_file t chunk in
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | key when key = t.key -> (
+            (* The key line pins (exp, seed, chunk_size, n); a file written
+               under any other configuration is ignored rather than
+               deserialized into the wrong accumulator shape. *)
+            try Some (Marshal.from_channel ic)
+            with Failure _ | End_of_file -> None)
+        | _ -> None
+        | exception End_of_file -> None)
+
+let clear t =
+  if Sys.file_exists t.dir && Sys.is_directory t.dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat t.dir f) with Sys_error _ -> ())
+      (Sys.readdir t.dir);
+    try Sys.rmdir t.dir with Sys_error _ -> ()
+  end

@@ -1,0 +1,46 @@
+(** Chunk-level checkpoint store for {!Parallel.fold_chunks_supervised}.
+
+    Each completed chunk accumulator is marshalled to
+    [<root>/<exp>-<seed>/chunk-<c>], headed by a textual key line
+    [exp=..;seed=..;chunk_size=..;n=..]. {!load} only returns a value when
+    the on-disk key matches the store's key exactly, so a checkpoint
+    written under different parameters (or a different experiment) can
+    never leak into a resumed run.
+
+    Resuming is {b exact}: the fold merges chunk accumulators in chunk
+    order whether they were just computed or loaded from disk, and
+    [Marshal] round-trips the accumulator records (Welford moments,
+    histogram tables, counters) bit for bit — so a resumed run's summary
+    is byte-identical to an uninterrupted one.
+
+    Chunk files are written via write-then-rename, so an interrupt mid
+    {!store} leaves at worst a stale [.tmp] file, never a truncated chunk.
+
+    {b Typing caveat:} {!load} is a [Marshal] read and is only type-safe
+    when paired with the same fold that produced the store — the key pins
+    the configuration but cannot pin the OCaml type. Callers must create
+    one store per fold and never share stores across accumulator types. *)
+
+type t
+
+val create :
+  root:string -> exp:string -> seed:int -> chunk_size:int -> n:int -> t
+(** [create ~root ~exp ~seed ~chunk_size ~n] names the store
+    [<root>/<sanitized exp>-<seed>/] (no filesystem access yet; the
+    directory is created on first {!store}). *)
+
+val dir : t -> string
+(** The store's directory (may not exist yet). *)
+
+val store : t -> chunk:int -> 'acc -> unit
+(** Persist one chunk accumulator. Safe to call concurrently for distinct
+    chunks. Raises [Sys_error] on filesystem failure. *)
+
+val load : t -> chunk:int -> 'acc option
+(** [load t ~chunk] is the accumulator stored for [chunk], or [None] when
+    the file is missing, keyed differently, or unreadable. *)
+
+val clear : t -> unit
+(** Remove every chunk file and the store directory, ignoring filesystem
+    errors. Called after a fully successful fold so stale checkpoints
+    never outlive the run they belong to. *)

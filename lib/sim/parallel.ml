@@ -2,22 +2,52 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let default_chunk_size = 8
 
-(* Claim chunks from a shared counter until exhausted (or a peer failed).
-   Worker 0 is the calling domain, so [jobs = 1] never spawns. *)
-let run_workers ~jobs ~nchunks ~run_chunk =
+exception Cancelled
+
+type chunk_failed = {
+  chunk : int;
+  trial : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type 'acc supervised = {
+  value : 'acc option;
+  chunks_done : int;
+  chunks_total : int;
+  chunks_resumed : int;
+  failures : chunk_failed list;
+  cancelled : bool;
+}
+
+let pp_chunk_failed f =
+  Printf.sprintf "chunk %d, trial %d: %s" f.chunk f.trial
+    (Printexc.to_string f.exn)
+
+(* Claim chunks from a shared counter until exhausted or poisoned.
+   Worker 0 is the calling domain, so [jobs = 1] never spawns.  [stop] is
+   the poison flag: it is raised by the first failing chunk and by the
+   cooperative [cancel] hook; workers re-check it before claiming, so an
+   in-flight chunk always drains to completion but no new chunk starts
+   after poisoning. *)
+let run_workers ~jobs ~nchunks ~cancel ~run_chunk =
   let next = Atomic.make 0 in
-  let failure = Atomic.make None in
+  let stop = Atomic.make false in
+  let cancelled = Atomic.make false in
   let worker () =
     let rec loop () =
-      if Atomic.get failure = None then begin
-        let c = Atomic.fetch_and_add next 1 in
-        if c < nchunks then begin
-          (try run_chunk c
-           with exn ->
-             ignore (Atomic.compare_and_set failure None (Some exn)));
-          loop ()
+      if not (Atomic.get stop) then
+        if cancel () then begin
+          Atomic.set cancelled true;
+          Atomic.set stop true
         end
-      end
+        else begin
+          let c = Atomic.fetch_and_add next 1 in
+          if c < nchunks then begin
+            if not (run_chunk c) then Atomic.set stop true;
+            loop ()
+          end
+        end
     in
     loop ()
   in
@@ -28,44 +58,112 @@ let run_workers ~jobs ~nchunks ~run_chunk =
     worker ();
     Array.iter Domain.join domains
   end;
-  match Atomic.get failure with None -> () | Some exn -> raise exn
+  Atomic.get cancelled
 
-let fold_chunks ?jobs ?(chunk_size = default_chunk_size) ~n ~create ~work
-    ~merge () =
+let fold_chunks_supervised ?jobs ?(chunk_size = default_chunk_size)
+    ?(cancel = fun () -> false) ?saved ?persist ~n ~create ~work ~merge () =
   if n < 0 then invalid_arg "Parallel.fold_chunks: negative n";
   if chunk_size < 1 then invalid_arg "Parallel.fold_chunks: chunk_size";
   let jobs =
     match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs ()
   in
-  if n = 0 then create ()
+  if n = 0 then
+    {
+      value = Some (create ());
+      chunks_done = 0;
+      chunks_total = 0;
+      chunks_resumed = 0;
+      failures = [];
+      cancelled = false;
+    }
   else begin
     let nchunks = (n + chunk_size - 1) / chunk_size in
     let partials = Array.make nchunks None in
+    (* One failure slot per chunk, each written by exactly the worker that
+       ran that chunk and published by [Domain.join]: no CAS race, so no
+       failure is ever dropped, and each carries its backtrace. *)
+    let failed = Array.make nchunks None in
+    let resumed = Array.make nchunks false in
     let run_chunk c =
-      let acc = create () in
-      let lo = c * chunk_size in
-      let hi = Stdlib.min n (lo + chunk_size) - 1 in
-      for i = lo to hi do
-        work i acc
-      done;
-      (* Distinct slots per chunk; Domain.join publishes them to the
-         merging domain. *)
-      partials.(c) <- Some acc
+      match match saved with Some f -> f c | None -> None with
+      | Some acc ->
+          partials.(c) <- Some acc;
+          resumed.(c) <- true;
+          true
+      | None -> (
+          let acc = create () in
+          let lo = c * chunk_size in
+          let hi = Stdlib.min n (lo + chunk_size) - 1 in
+          let i = ref lo in
+          try
+            while !i <= hi do
+              work !i acc;
+              incr i
+            done;
+            (match persist with Some p -> p c acc | None -> ());
+            (* Published only once the chunk is durable: a chunk whose
+               [persist] raised is a failed chunk and contributes nothing.
+               Distinct slots per chunk; Domain.join publishes them to the
+               merging domain. *)
+            partials.(c) <- Some acc;
+            true
+          with exn ->
+            let backtrace = Printexc.get_raw_backtrace () in
+            (* [trial = hi + 1] means the chunk's work all succeeded and
+               [persist] itself raised. *)
+            failed.(c) <- Some { chunk = c; trial = !i; exn; backtrace };
+            false)
     in
-    run_workers ~jobs ~nchunks ~run_chunk;
+    let was_cancelled = run_workers ~jobs ~nchunks ~cancel ~run_chunk in
     (* Merge in chunk order: chunking and merge order depend only on [n]
        and [chunk_size], never on [jobs], so any worker count produces the
-       same result bit for bit (even for non-associative float folds). *)
+       same result bit for bit (even for non-associative float folds).
+       Missing chunks (failed, or never started after poisoning) are
+       skipped; the merge order of the survivors is still the chunk
+       order. *)
     let acc = ref None in
-    Array.iter
-      (fun p ->
-        match (p, !acc) with
-        | Some p, Some a -> acc := Some (merge a p)
-        | Some p, None -> acc := Some p
-        | None, _ -> assert false)
+    let chunks_done = ref 0 in
+    let chunks_resumed = ref 0 in
+    Array.iteri
+      (fun c p ->
+        match p with
+        | None -> ()
+        | Some p ->
+            incr chunks_done;
+            if resumed.(c) then incr chunks_resumed;
+            acc :=
+              Some (match !acc with Some a -> merge a p | None -> p))
       partials;
-    match !acc with Some a -> a | None -> assert false
+    let failures =
+      Array.fold_left
+        (fun fs -> function None -> fs | Some f -> f :: fs)
+        [] failed
+      |> List.rev
+    in
+    {
+      value = !acc;
+      chunks_done = !chunks_done;
+      chunks_total = nchunks;
+      chunks_resumed = !chunks_resumed;
+      failures;
+      cancelled = was_cancelled;
+    }
   end
+
+let fold_chunks ?jobs ?chunk_size ~n ~create ~work ~merge () =
+  let s = fold_chunks_supervised ?jobs ?chunk_size ~n ~create ~work ~merge () in
+  match s.failures with
+  | f :: _ ->
+      (* Legacy all-or-nothing path: re-raise the first failure in chunk
+         order with its original backtrace. *)
+      Printexc.raise_with_backtrace f.exn f.backtrace
+  | [] -> (
+      match s.value with
+      | Some a -> a
+      | None ->
+          (* No failure and no value: only possible under a cancel hook,
+             which the legacy entry point does not take. *)
+          assert false)
 
 let map ?jobs ?chunk_size ~n f =
   if n < 0 then invalid_arg "Parallel.map: negative n";

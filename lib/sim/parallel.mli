@@ -28,6 +28,81 @@ val default_chunk_size : int
     costs of adversarial runs, large enough to amortise accumulator
     allocation. *)
 
+exception Cancelled
+(** Raised by callers that run under a watchdog but have no partial result
+    to salvage (e.g. {!Coinflip.Control.control_probability}, whose return
+    type is a single estimate): the supervised fold reported [cancelled]
+    and the computation cannot continue. {!fold_chunks_supervised} itself
+    never raises this — it reports cancellation in the record. *)
+
+type chunk_failed = {
+  chunk : int;  (** Chunk whose work raised. *)
+  trial : int;
+      (** Global index whose [work] call raised. [chunk * chunk_size +
+          chunk_size] (one past the chunk) means every [work] call
+          succeeded and the [persist] hook itself raised. *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+(** A structured record of one failed chunk. Each chunk has its own
+    failure slot written by the worker that ran it, so concurrent failures
+    are all captured — none is dropped to a first-failure race — and each
+    keeps the backtrace of the original raise. *)
+
+val pp_chunk_failed : chunk_failed -> string
+(** One-line rendering: ["chunk C, trial I: <exn>"]. *)
+
+type 'acc supervised = {
+  value : 'acc option;
+      (** Chunk-ordered merge of every completed chunk; [None] iff no
+          chunk completed. Partial (some chunks missing) iff [failures <>
+          [] || cancelled]. *)
+  chunks_done : int;  (** Completed chunks, including resumed ones. *)
+  chunks_total : int;
+  chunks_resumed : int;  (** Chunks satisfied by [saved] instead of run. *)
+  failures : chunk_failed list;  (** In chunk order. *)
+  cancelled : bool;  (** The [cancel] hook fired before all chunks ran. *)
+}
+
+val fold_chunks_supervised :
+  ?jobs:int ->
+  ?chunk_size:int ->
+  ?cancel:(unit -> bool) ->
+  ?saved:(int -> 'acc option) ->
+  ?persist:(int -> 'acc -> unit) ->
+  n:int ->
+  create:(unit -> 'acc) ->
+  work:(int -> 'acc -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc supervised
+(** Supervised core of {!fold_chunks}: same deterministic chunking and
+    chunk-ordered merge, but failures are captured instead of raised and
+    completed partials are salvaged.
+
+    {ul
+    {- A raising [work] call poisons the pool: peers drain their in-flight
+       chunks but start no new ones. The failed chunk is recorded in
+       [failures]; every completed chunk still contributes to [value].}
+    {- [cancel] is a cooperative watchdog hook, polled by each worker
+       before claiming a chunk (never mid-chunk). When it returns [true]
+       the pool is poisoned the same way and [cancelled] is set. It runs
+       on worker domains and must be thread-safe and cheap.}
+    {- [saved c] lets a checkpoint store satisfy chunk [c] without running
+       it: the returned accumulator is used verbatim. Because the merge is
+       in chunk order, resuming from saved chunks is bit-identical to
+       recomputing them ({!Checkpoint} relies on this).}
+    {- [persist c acc] is called with every freshly computed chunk
+       accumulator, from the worker domain that ran it (distinct [c] per
+       call, so writing to per-chunk files needs no locking). An exception
+       from [persist] is recorded as that chunk's failure, and the chunk
+       then contributes nothing to [value] — only durable chunks merge.}}
+
+    [value] is bit-identical for every [jobs >= 1] whenever the same
+    chunks complete; in particular a clean run (no failures, no
+    cancellation, any mix of saved and computed chunks) equals the
+    sequential fold exactly. *)
+
 val fold_chunks :
   ?jobs:int ->
   ?chunk_size:int ->
@@ -41,9 +116,11 @@ val fold_chunks :
     each chunk gets a fresh [create ()] accumulator, [work i acc] is called
     for each index of the chunk in ascending order, and chunk partials are
     combined with [merge] in chunk order. [jobs] defaults to
-    {!default_jobs}; the result is the same for every [jobs >= 1]. If any
-    [work] call raises, one such exception is re-raised after all workers
-    stop (no pending chunk is started once a failure is recorded). *)
+    {!default_jobs}; the result is the same for every [jobs >= 1]. This is
+    the all-or-nothing policy over {!fold_chunks_supervised}: if any
+    [work] call raises, the first failure in chunk order is re-raised with
+    its original backtrace after all workers stop (no pending chunk is
+    started once a failure is recorded). *)
 
 val map :
   ?jobs:int -> ?chunk_size:int -> n:int -> (int -> 'a) -> 'a array

@@ -62,8 +62,34 @@ let acc_merge a b =
     acc_errors_rev = b.acc_errors_rev @ a.acc_errors_rev;
   }
 
-let run_trials ?(max_rounds = 10_000) ?strict ?jobs ~trials ~seed ~gen_inputs
-    ~t protocol make_adversary =
+type report = {
+  partial : summary option;
+  completed_trials : int;
+  total_trials : int;
+  chunks_done : int;
+  chunks_total : int;
+  chunks_resumed : int;
+  failures : Parallel.chunk_failed list;
+  cancelled : bool;
+}
+
+let summary_of_acc acc =
+  {
+    (* Every completed trial bumps the kills accumulator exactly once, so
+       its count is the number of trials actually folded in — which is
+       what [trials] must mean for a salvaged partial summary. *)
+    trials = Stats.Welford.count acc.acc_kills;
+    rounds = acc.acc_rounds;
+    rounds_hist = acc.acc_hist;
+    kills = acc.acc_kills;
+    decided_zero = acc.acc_zero;
+    decided_one = acc.acc_one;
+    non_terminating = acc.acc_nonterm;
+    safety_errors = List.concat (List.rev acc.acc_errors_rev);
+  }
+
+let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
+    ?cancel ?checkpoint ~trials ~seed ~gen_inputs ~t protocol make_adversary =
   if trials <= 0 then invalid_arg "Runner.run_trials: trials must be positive";
   let work index acc =
     let trial = index + 1 in
@@ -92,17 +118,47 @@ let run_trials ?(max_rounds = 10_000) ?strict ?jobs ~trials ~seed ~gen_inputs
     | Some _ -> acc.acc_one <- acc.acc_one + 1
     | None -> ()
   in
-  let acc =
-    Parallel.fold_chunks ?jobs ~n:trials ~create:acc_create ~work
-      ~merge:acc_merge ()
+  let saved, persist =
+    match checkpoint with
+    | None -> (None, None)
+    | Some ck ->
+        ( Some (fun c -> Checkpoint.load ck ~chunk:c),
+          Some (fun c acc -> Checkpoint.store ck ~chunk:c acc) )
   in
+  let s =
+    Parallel.fold_chunks_supervised ?jobs ?chunk_size ?cancel ?saved ?persist
+      ~n:trials ~create:acc_create ~work ~merge:acc_merge ()
+  in
+  let complete =
+    s.Parallel.chunks_done = s.Parallel.chunks_total
+    && s.Parallel.failures = []
+  in
+  (* A fully successful fold retires its checkpoints: stale chunk files
+     must never outlive the run they belong to. *)
+  (match checkpoint with Some ck when complete -> Checkpoint.clear ck | _ -> ());
+  let partial = Option.map summary_of_acc s.Parallel.value in
   {
-    trials;
-    rounds = acc.acc_rounds;
-    rounds_hist = acc.acc_hist;
-    kills = acc.acc_kills;
-    decided_zero = acc.acc_zero;
-    decided_one = acc.acc_one;
-    non_terminating = acc.acc_nonterm;
-    safety_errors = List.concat (List.rev acc.acc_errors_rev);
+    partial;
+    completed_trials =
+      (match partial with Some p -> p.trials | None -> 0);
+    total_trials = trials;
+    chunks_done = s.Parallel.chunks_done;
+    chunks_total = s.Parallel.chunks_total;
+    chunks_resumed = s.Parallel.chunks_resumed;
+    failures = s.Parallel.failures;
+    cancelled = s.Parallel.cancelled;
   }
+
+let run_trials ?max_rounds ?strict ?jobs ~trials ~seed ~gen_inputs ~t protocol
+    make_adversary =
+  let r =
+    run_trials_supervised ?max_rounds ?strict ?jobs ~trials ~seed ~gen_inputs
+      ~t protocol make_adversary
+  in
+  match (r.failures, r.partial) with
+  | f :: _, _ ->
+      (* Legacy all-or-nothing contract: first failure in chunk order,
+         original backtrace preserved. *)
+      Printexc.raise_with_backtrace f.Parallel.exn f.Parallel.backtrace
+  | [], Some s -> s
+  | [], None -> assert false (* trials > 0, no cancel hook installed *)

@@ -30,6 +30,47 @@ val input_gen_const : n:int -> int -> Prng.Rng.t -> int array
 val input_gen_split : n:int -> Prng.Rng.t -> int array
 (** Half zeros, half ones, randomly assigned — maximally divided inputs. *)
 
+type report = {
+  partial : summary option;
+      (** Merge of every completed chunk, in chunk order; [None] iff no
+          chunk completed. A partial summary's [trials] field counts the
+          trials actually folded in, not the requested total. *)
+  completed_trials : int;  (** [= partial.trials] (0 when [None]). *)
+  total_trials : int;  (** The requested [~trials]. *)
+  chunks_done : int;
+  chunks_total : int;
+  chunks_resumed : int;  (** Chunks satisfied from the checkpoint store. *)
+  failures : Parallel.chunk_failed list;  (** In chunk order. *)
+  cancelled : bool;  (** The [cancel] watchdog fired. *)
+}
+(** Outcome of a supervised run: the salvaged partial summary plus the
+    structured failure record. [failures = [] && not cancelled] implies
+    [chunks_done = chunks_total] and [partial] is the complete summary. *)
+
+val run_trials_supervised :
+  ?max_rounds:int ->
+  ?strict:bool ->
+  ?jobs:int ->
+  ?chunk_size:int ->
+  ?cancel:(unit -> bool) ->
+  ?checkpoint:Checkpoint.t ->
+  trials:int ->
+  seed:int ->
+  gen_inputs:(Prng.Rng.t -> int array) ->
+  t:int ->
+  ('state, 'msg) Protocol.t ->
+  (unit -> ('state, 'msg) Adversary.t) ->
+  report
+(** Supervised variant of {!run_trials}: raising trials and watchdog
+    cancellation produce a {!report} instead of an exception, salvaging
+    every completed chunk. [cancel] is polled at chunk boundaries (see
+    {!Parallel.fold_chunks_supervised}). [checkpoint] persists each
+    completed chunk accumulator and satisfies already-stored chunks
+    without recomputation; because chunk partials merge in chunk order and
+    [Marshal] round-trips the accumulators exactly, a resumed run's
+    summary is byte-identical to an uninterrupted one. A fully successful
+    run clears its checkpoint store. *)
+
 val run_trials :
   ?max_rounds:int ->
   ?strict:bool ->

@@ -1,0 +1,7 @@
+(* detlint fixture: a watchdog deadline built on a bare wall-clock read is
+   still an R2 violation — timers need a justified waiver even when they
+   only gate cancellation. *)
+
+let deadline_at = ref infinity
+let arm seconds = deadline_at := Unix.gettimeofday () +. seconds
+let expired () = Unix.gettimeofday () > !deadline_at

@@ -1,0 +1,14 @@
+(* detlint fixture: the supervised-runner watchdog pattern — a wall-clock
+   read under a justified [@detlint.allow "R2: ..."] waiver that documents
+   why the timer cannot perturb any deterministic output. *)
+
+let now () =
+  (Unix.gettimeofday
+  [@detlint.allow
+    "R2: the watchdog deadline only gates cooperative cancellation and \
+     reporting; it never feeds an experiment table, an RNG, or any other \
+     deterministic output"]) ()
+
+let cancel_after seconds =
+  let at = now () +. seconds in
+  fun () -> now () > at

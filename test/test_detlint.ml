@@ -93,6 +93,21 @@ let test_malformed_waiver_rejected () =
     (rules (violations fs));
   check_strings "nothing waived" [] (rules (waived fs))
 
+let test_r2_watchdog_needs_waiver () =
+  (* A watchdog deadline is still wall-clock: without a justification every
+     read is a violation. *)
+  let fs = lint "bad_r2_watchdog.ml" in
+  check_strings "R2 and only R2" [ "R2" ] (rules (violations fs));
+  Alcotest.(check int) "both gettimeofday reads flagged" 2
+    (List.length (violations fs))
+
+let test_r2_deadline_waived () =
+  (* The supervised-runner pattern: the same timer under a justified waiver
+     is reported as waived, never as a violation. *)
+  let fs = lint "good_r2_deadline.ml" in
+  check_strings "no violations" [] (rules (violations fs));
+  check_strings "timer reported as waived" [ "R2" ] (rules (waived fs))
+
 let test_file_level_waiver () =
   let src =
     "[@@@detlint.allow \"R2: whole-file timing shim used only by the bench\"]\n\
@@ -168,6 +183,8 @@ let suites =
         tc "justified waiver suppresses" test_waiver_suppresses;
         tc "missing justification rejected" test_malformed_waiver_rejected;
         tc "file-level waiver" test_file_level_waiver;
+        tc "bare watchdog timer violates R2" test_r2_watchdog_needs_waiver;
+        tc "justified watchdog deadline is waived" test_r2_deadline_waived;
       ] );
     ( "detlint.engine",
       [

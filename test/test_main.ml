@@ -5,4 +5,4 @@ let () =
     (Test_prng.suites @ Test_stats.suites @ Test_sim.suites
    @ Test_coinflip.suites @ Test_baselines.suites @ Test_synran.suites
    @ Test_lowerbound.suites @ Test_async.suites @ Test_byz.suites
-   @ Test_properties.suites @ Test_detlint.suites)
+   @ Test_supervised.suites @ Test_properties.suites @ Test_detlint.suites)

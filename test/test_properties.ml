@@ -539,7 +539,70 @@ let prop_run_trials_jobs_equivalent =
       let base = key (run 1) in
       key (run 2) = base && key (run 4) = base)
 
+let prop_resume_any_prefix_equivalent =
+  (* Checkpoint/resume exactness: interrupt a supervised run after any
+     prefix of chunks (each persisted to disk), then resume from the store
+     at a different worker count — the completed summary must be
+     byte-for-byte the summary of an uninterrupted run. Chunk-ordered
+     merging plus Marshal's exact round-trip of the accumulators is what
+     makes this hold. *)
+  QCheck.Test.make
+    ~name:"checkpoint resume after any prefix = uninterrupted run" ~count:10
+    QCheck.(quad (int_range 4 10) small_int (int_bound 4) (int_range 1 4))
+    (fun (n, seed, prefix_chunks, resume_jobs) ->
+      let trials = 10 and chunk_size = 2 in
+      let t = Prng.Rng.int (Prng.Rng.create (seed + 5)) n in
+      let make_adversary () = adversary_of_tag ~n ~t ~seed (seed mod 3) in
+      let run ?cancel ?checkpoint ~jobs () =
+        Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs ~chunk_size
+          ?cancel ?checkpoint ~trials ~seed
+          ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+          ~t (Core.Synran.protocol n) make_adversary
+      in
+      let key (s : Sim.Runner.summary) =
+        ( s.Sim.Runner.trials,
+          Stats.Welford.mean s.Sim.Runner.rounds,
+          Stats.Welford.variance s.Sim.Runner.rounds,
+          Stats.Histogram.bins s.Sim.Runner.rounds_hist,
+          Stats.Welford.mean s.Sim.Runner.kills,
+          (s.Sim.Runner.decided_zero, s.Sim.Runner.decided_one),
+          s.Sim.Runner.safety_errors )
+      in
+      let baseline =
+        match (run ~jobs:1 ()).Sim.Runner.partial with
+        | Some s -> s
+        | None -> QCheck.Test.fail_report "baseline run produced no summary"
+      in
+      let make_ck () =
+        Sim.Checkpoint.create ~root:"ckpt_prop"
+          ~exp:(Printf.sprintf "prefix-%d-%d-%d" n seed prefix_chunks)
+          ~seed ~chunk_size ~n:trials
+      in
+      (* Interrupt: one worker makes the cancel-poll count deterministic,
+         so exactly [prefix_chunks] chunk files land on disk. *)
+      let polls = ref 0 in
+      let cancel () =
+        incr polls;
+        !polls > prefix_chunks
+      in
+      let interrupted = run ~cancel ~checkpoint:(make_ck ()) ~jobs:1 () in
+      let resumed = run ~checkpoint:(make_ck ()) ~jobs:resume_jobs () in
+      interrupted.Sim.Runner.cancelled
+      && interrupted.Sim.Runner.chunks_done = prefix_chunks
+      && resumed.Sim.Runner.chunks_resumed = prefix_chunks
+      && resumed.Sim.Runner.failures = []
+      && (not resumed.Sim.Runner.cancelled)
+      &&
+      match resumed.Sim.Runner.partial with
+      | Some s -> key s = key baseline
+      | None -> false)
+
 let parallel_suites =
-  [ ("properties.parallel", List.map to_alcotest [ prop_run_trials_jobs_equivalent ]) ]
+  [
+    ( "properties.parallel",
+      List.map to_alcotest
+        [ prop_run_trials_jobs_equivalent; prop_resume_any_prefix_equivalent ]
+    );
+  ]
 
 let suites = suites @ parallel_suites

@@ -1,0 +1,411 @@
+(* Tests for the supervision layer: structured failure capture and partial
+   salvage in Sim.Parallel.fold_chunks_supervised, the chunk checkpoint
+   store, exact checkpoint/resume through Sim.Runner, and Core.Supervise's
+   per-experiment watchdog, failure records and run manifest. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* List-of-indices accumulator: the merged value spells out exactly which
+   indices were folded in, in merge order. *)
+let indices_fold ?jobs ?cancel ?saved ?persist ~chunk_size ~n ~crash_at () =
+  Sim.Parallel.fold_chunks_supervised ?jobs ?cancel ?saved ?persist
+    ~chunk_size ~n
+    ~create:(fun () -> ref [])
+    ~work:(fun i acc ->
+      if List.mem i crash_at then failwith (Printf.sprintf "boom %d" i);
+      acc := !acc @ [ i ])
+    ~merge:(fun a b ->
+      a := !a @ !b;
+      a)
+    ()
+
+(* --- fold_chunks_supervised: failure capture & salvage ----------------- *)
+
+let test_crash_structured () =
+  (* Sequential workers make the poisoning deterministic: chunks 0-2
+     complete, chunk 3 (index 13) fails, chunks 4-9 never start. *)
+  let s = indices_fold ~jobs:1 ~chunk_size:4 ~n:40 ~crash_at:[ 13 ] () in
+  check_int "chunks_total" 10 s.Sim.Parallel.chunks_total;
+  check_int "chunks_done" 3 s.Sim.Parallel.chunks_done;
+  check_int "chunks_resumed" 0 s.Sim.Parallel.chunks_resumed;
+  check_bool "not cancelled" false s.Sim.Parallel.cancelled;
+  (match s.Sim.Parallel.failures with
+  | [ f ] ->
+      check_int "failing chunk" 3 f.Sim.Parallel.chunk;
+      check_int "failing trial" 13 f.Sim.Parallel.trial;
+      check_bool "original exception" true
+        (f.Sim.Parallel.exn = Failure "boom 13");
+      check_string "pp_chunk_failed" "chunk 3, trial 13: Failure(\"boom 13\")"
+        (Sim.Parallel.pp_chunk_failed f)
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  match s.Sim.Parallel.value with
+  | Some v -> Alcotest.(check (list int)) "salvaged prefix" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ] !v
+  | None -> Alcotest.fail "partial value missing"
+
+let test_crash_salvage_parallel () =
+  (* Under real parallelism the set of completed chunks is timing-dependent,
+     but the invariants are not: the failing chunk is captured exactly,
+     nothing from it is merged, and the merge stays in chunk order. *)
+  let s = indices_fold ~jobs:4 ~chunk_size:4 ~n:40 ~crash_at:[ 13 ] () in
+  check_bool "not cancelled" false s.Sim.Parallel.cancelled;
+  (match s.Sim.Parallel.failures with
+  | [ f ] ->
+      check_int "failing chunk" 3 f.Sim.Parallel.chunk;
+      check_int "failing trial" 13 f.Sim.Parallel.trial
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  let v = match s.Sim.Parallel.value with Some v -> !v | None -> [] in
+  check_int "value covers exactly the completed chunks"
+    (4 * s.Sim.Parallel.chunks_done)
+    (List.length v);
+  check_bool "nothing from the failed chunk leaks in" true
+    (List.for_all (fun i -> i < 12 || i > 15) v);
+  check_bool "merge order is chunk order" true (List.sort compare v = v)
+
+let test_persist_failure_recorded () =
+  (* A raising persist hook is the chunk's failure; its [trial] is one past
+     the chunk so it cannot be mistaken for a work-call index. *)
+  let persist c _ = if c = 2 then failwith "disk full" in
+  let s =
+    indices_fold ~jobs:1 ~chunk_size:4 ~n:16 ~crash_at:[] ~persist ()
+  in
+  check_int "chunks_done" 2 s.Sim.Parallel.chunks_done;
+  (match s.Sim.Parallel.failures with
+  | [ f ] ->
+      check_int "failing chunk" 2 f.Sim.Parallel.chunk;
+      check_int "trial is one past the chunk" 12 f.Sim.Parallel.trial;
+      check_bool "persist's exception" true (f.Sim.Parallel.exn = Failure "disk full")
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  match s.Sim.Parallel.value with
+  | Some v -> Alcotest.(check (list int)) "only durable chunks merged" [ 0; 1; 2; 3; 4; 5; 6; 7 ] !v
+  | None -> Alcotest.fail "partial value missing"
+
+(* --- fold_chunks_supervised: cooperative cancellation ------------------ *)
+
+let test_cancel_before_first_chunk () =
+  let s =
+    indices_fold ~jobs:1 ~chunk_size:4 ~n:40 ~crash_at:[]
+      ~cancel:(fun () -> true)
+      ()
+  in
+  check_bool "cancelled" true s.Sim.Parallel.cancelled;
+  check_int "no chunks ran" 0 s.Sim.Parallel.chunks_done;
+  check_bool "no failures" true (s.Sim.Parallel.failures = []);
+  check_bool "no value" true (s.Sim.Parallel.value = None)
+
+let test_cancel_at_chunk_boundary () =
+  (* The watchdog is polled before claiming each chunk, never mid-chunk:
+     with one worker, firing on the third poll stops after exactly two
+     whole chunks. *)
+  let polls = ref 0 in
+  let cancel () =
+    incr polls;
+    !polls > 2
+  in
+  let s = indices_fold ~jobs:1 ~chunk_size:4 ~n:40 ~crash_at:[] ~cancel () in
+  check_bool "cancelled" true s.Sim.Parallel.cancelled;
+  check_int "two whole chunks" 2 s.Sim.Parallel.chunks_done;
+  match s.Sim.Parallel.value with
+  | Some v -> Alcotest.(check (list int)) "partial prefix" [ 0; 1; 2; 3; 4; 5; 6; 7 ] !v
+  | None -> Alcotest.fail "partial value missing"
+
+(* --- checkpoint store -------------------------------------------------- *)
+
+let test_checkpoint_roundtrip () =
+  let ck =
+    Sim.Checkpoint.create ~root:"ckpt_test_roundtrip" ~exp:"unit" ~seed:7
+      ~chunk_size:4 ~n:16
+  in
+  check_bool "missing chunk loads None" true
+    ((Sim.Checkpoint.load ck ~chunk:0 : float option) = None);
+  Sim.Checkpoint.store ck ~chunk:2 (3.5, [ 1; 2; 3 ]);
+  (match (Sim.Checkpoint.load ck ~chunk:2 : (float * int list) option) with
+  | Some v -> check_bool "round-trips exactly" true (v = (3.5, [ 1; 2; 3 ]))
+  | None -> Alcotest.fail "stored chunk did not load");
+  Sim.Checkpoint.clear ck;
+  check_bool "clear removes the store" false
+    (Sys.file_exists (Sim.Checkpoint.dir ck))
+
+let test_checkpoint_key_mismatch () =
+  (* Same directory, different key (n differs): a chunk written under one
+     configuration is invisible to the other. *)
+  let ck16 =
+    Sim.Checkpoint.create ~root:"ckpt_test_key" ~exp:"e" ~seed:3 ~chunk_size:4
+      ~n:16
+  in
+  let ck24 =
+    Sim.Checkpoint.create ~root:"ckpt_test_key" ~exp:"e" ~seed:3 ~chunk_size:4
+      ~n:24
+  in
+  check_string "same directory" (Sim.Checkpoint.dir ck16)
+    (Sim.Checkpoint.dir ck24);
+  Sim.Checkpoint.store ck16 ~chunk:0 [ 42 ];
+  check_bool "mismatched key rejected" true
+    ((Sim.Checkpoint.load ck24 ~chunk:0 : int list option) = None);
+  check_bool "matching key still loads" true
+    ((Sim.Checkpoint.load ck16 ~chunk:0 : int list option) = Some [ 42 ]);
+  Sim.Checkpoint.clear ck16
+
+let test_checkpoint_sanitized_dir () =
+  let ck =
+    Sim.Checkpoint.create ~root:"ckpt_test_san" ~exp:"e5;n=24/gen=split"
+      ~seed:1 ~chunk_size:8 ~n:10
+  in
+  let base = Filename.basename (Sim.Checkpoint.dir ck) in
+  check_bool "store name survives exp punctuation" true
+    (String.for_all
+       (fun ch ->
+         match ch with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       base)
+
+(* --- Sim.Runner: supervised runs --------------------------------------- *)
+
+let summary_key (s : Sim.Runner.summary) =
+  ( s.Sim.Runner.trials,
+    Stats.Welford.mean s.Sim.Runner.rounds,
+    Stats.Welford.variance s.Sim.Runner.rounds,
+    Stats.Histogram.bins s.Sim.Runner.rounds_hist,
+    Stats.Welford.mean s.Sim.Runner.kills,
+    (s.Sim.Runner.decided_zero, s.Sim.Runner.decided_one) )
+
+let test_runner_crash_salvage () =
+  (* A crash at a known trial: with one worker the 14th adversary build is
+     trial index 13 (chunk 3 at chunk_size 4); the salvaged partial is
+     exactly the summary of the 12 trials that completed — bit-identical
+     to a fresh 12-trial run, because each trial's randomness is a pure
+     function of (seed, index). *)
+  let n = 8 in
+  let protocol = Core.Synran.protocol n in
+  let builds = ref 0 in
+  let make_adversary () =
+    incr builds;
+    if !builds = 14 then failwith "adversary exploded";
+    Sim.Adversary.null
+  in
+  let r =
+    Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs:1 ~chunk_size:4
+      ~trials:20 ~seed:5
+      ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+      ~t:2 protocol make_adversary
+  in
+  check_bool "not cancelled" false r.Sim.Runner.cancelled;
+  check_int "chunks_total" 5 r.Sim.Runner.chunks_total;
+  check_int "chunks_done" 3 r.Sim.Runner.chunks_done;
+  check_int "completed_trials" 12 r.Sim.Runner.completed_trials;
+  check_int "total_trials" 20 r.Sim.Runner.total_trials;
+  (match r.Sim.Runner.failures with
+  | [ f ] ->
+      check_int "failing chunk" 3 f.Sim.Parallel.chunk;
+      check_int "failing trial" 13 f.Sim.Parallel.trial
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  (* The fresh run must use the same chunk boundaries: Welford merging is
+     a non-associative float fold, so only identical chunking is
+     bit-identical. *)
+  let fresh =
+    match
+      (Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs:1 ~chunk_size:4
+         ~trials:12 ~seed:5
+         ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+         ~t:2 protocol
+         (fun () -> Sim.Adversary.null))
+        .Sim.Runner.partial
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "fresh run produced no summary"
+  in
+  match r.Sim.Runner.partial with
+  | Some p ->
+      check_bool "salvaged partial = fresh 12-trial run" true
+        (summary_key p = summary_key fresh)
+  | None -> Alcotest.fail "partial summary missing"
+
+let test_runner_checkpoint_resume_exact () =
+  let n = 8 and trials = 24 and seed = 11 in
+  let protocol = Core.Synran.protocol n in
+  let gen_inputs = Sim.Runner.input_gen_random ~n in
+  let make_adversary () = Sim.Adversary.null in
+  let run_supervised ?cancel ?checkpoint ~jobs () =
+    Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs ~chunk_size:4
+      ?cancel ?checkpoint ~trials ~seed ~gen_inputs ~t:3 protocol
+      make_adversary
+  in
+  let baseline =
+    match (run_supervised ~jobs:1 ()).Sim.Runner.partial with
+    | Some s -> s
+    | None -> Alcotest.fail "baseline run failed"
+  in
+  let make_ck () =
+    Sim.Checkpoint.create ~root:"ckpt_test_resume" ~exp:"resume" ~seed
+      ~chunk_size:4 ~n:trials
+  in
+  (* Interrupt after three whole chunks; their accumulators hit disk. *)
+  let polls = ref 0 in
+  let cancel () =
+    incr polls;
+    !polls > 3
+  in
+  let interrupted = run_supervised ~cancel ~checkpoint:(make_ck ()) ~jobs:1 () in
+  check_bool "interrupted run cancelled" true interrupted.Sim.Runner.cancelled;
+  check_int "three chunks persisted" 3 interrupted.Sim.Runner.chunks_done;
+  check_bool "checkpoint files survive the interrupt" true
+    (Sys.file_exists (Sim.Checkpoint.dir (make_ck ())));
+  (* Resume at a different worker count: saved chunks short-circuit, the
+     rest recompute, and the merged summary is byte-identical. *)
+  let resumed = run_supervised ~checkpoint:(make_ck ()) ~jobs:3 () in
+  check_bool "no failures" true (resumed.Sim.Runner.failures = []);
+  check_bool "not cancelled" false resumed.Sim.Runner.cancelled;
+  check_int "all chunks done" resumed.Sim.Runner.chunks_total
+    resumed.Sim.Runner.chunks_done;
+  check_int "three chunks came from disk" 3 resumed.Sim.Runner.chunks_resumed;
+  (match resumed.Sim.Runner.partial with
+  | Some s ->
+      check_bool "resumed summary = uninterrupted summary" true
+        (summary_key s = summary_key baseline)
+  | None -> Alcotest.fail "resumed summary missing");
+  check_bool "completed run retires its checkpoints" false
+    (Sys.file_exists (Sim.Checkpoint.dir (make_ck ())))
+
+(* --- Core.Supervise ----------------------------------------------------- *)
+
+let test_supervise_failure_record () =
+  let ctx = Core.Supervise.create () in
+  let r = Core.Supervise.run_experiment ctx ~id:"ex" (fun () -> failwith "kaput") in
+  check_bool "failed" true (Core.Supervise.failed r);
+  (match r.Core.Supervise.status with
+  | Core.Supervise.Failed { message; _ } ->
+      check_string "message" "Failure(\"kaput\")" message
+  | _ -> Alcotest.fail "expected Failed");
+  check_bool "no table registered" true (r.Core.Supervise.table = None);
+  check_bool "status line names the experiment" true
+    (String.length (Core.Supervise.status_line r) > 0
+    && String.sub (Core.Supervise.status_line r) 0 2 = "ex")
+
+let test_supervise_timeout_salvages_table () =
+  let ctx = Core.Supervise.create () in
+  let r =
+    Core.Supervise.run_experiment ctx ~id:"ex" (fun () ->
+        let tbl =
+          Core.Supervise.register (Some ctx)
+            (Stats.Table.create ~title:"partial" ~columns:[ "a" ])
+        in
+        Stats.Table.add_row tbl [ Stats.Table.Str "row" ];
+        raise Sim.Parallel.Cancelled)
+  in
+  (match r.Core.Supervise.status with
+  | Core.Supervise.Timed_out -> ()
+  | _ -> Alcotest.fail "expected Timed_out");
+  match r.Core.Supervise.table with
+  | Some tbl -> check_int "partial rows survive" 1 (List.length (Stats.Table.rows tbl))
+  | None -> Alcotest.fail "partial table lost"
+
+let test_supervise_armed_watchdog () =
+  (* A deadline in the past fires on the first poll: cancel reports true
+     and check raises, without any sleeping in the test. *)
+  let ctx = Core.Supervise.create ~deadline_s:(-1.0) () in
+  let r =
+    Core.Supervise.run_experiment ctx ~id:"ex" (fun () ->
+        (match Core.Supervise.cancel (Some ctx) with
+        | Some poll -> check_bool "expired deadline polls true" true (poll ())
+        | None -> Alcotest.fail "watchdog not armed");
+        Core.Supervise.check (Some ctx);
+        Alcotest.fail "check did not raise past the deadline")
+  in
+  (match r.Core.Supervise.status with
+  | Core.Supervise.Timed_out -> ()
+  | _ -> Alcotest.fail "expected Timed_out");
+  (* Unarmed supervisors are inert. *)
+  check_bool "no deadline, no cancel hook" true
+    (Core.Supervise.cancel (Some (Core.Supervise.create ())) = None);
+  Core.Supervise.check None;
+  check_bool "cancel None is None" true (Core.Supervise.cancel None = None)
+
+let test_supervise_isolation_and_exit () =
+  (* One crashing experiment neither prevents nor poisons the next — the
+     supervisor's whole point. *)
+  let ctx = Core.Supervise.create () in
+  let bad = Core.Supervise.run_experiment ctx ~id:"e_bad" (fun () -> failwith "x") in
+  let good =
+    Core.Supervise.run_experiment ctx ~id:"e_good" (fun () ->
+        Stats.Table.create ~title:"ok" ~columns:[ "c" ])
+  in
+  check_bool "good experiment unaffected" false (Core.Supervise.failed good);
+  check_bool "exit code trips on any failure" true
+    (Core.Supervise.any_failed [ good; bad ]);
+  check_bool "all-clean run exits zero" false
+    (Core.Supervise.any_failed [ good ])
+
+let test_manifest_shape () =
+  let ctx = Core.Supervise.create () in
+  let ok =
+    Core.Supervise.run_experiment ctx ~id:"e1" (fun () ->
+        Stats.Table.create ~title:"t" ~columns:[ "c" ])
+  in
+  let bad =
+    Core.Supervise.run_experiment ctx ~id:"e2" (fun () -> failwith "boom-q")
+  in
+  let path = "manifest_test_tmp/run_manifest.json" in
+  Core.Supervise.write_manifest ~path ~profile:"quick" ~seed:42 ~jobs:2
+    ~resume:false ~deadline_s:(Some 30.0) [ ok; bad ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let json = really_input_string ic len in
+  close_in ic;
+  let mem needle =
+    let lw = String.length needle in
+    let rec go i =
+      i + lw <= String.length json
+      && (String.sub json i lw = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "schema tag" true (mem "\"schema\": \"run_manifest/v1\"");
+  check_bool "run parameters" true (mem "\"deadline_s\": 30");
+  check_bool "completed record" true (mem "\"id\": \"e1\", \"status\": \"completed\"");
+  check_bool "failed record" true (mem "\"id\": \"e2\", \"status\": \"failed\"");
+  (* Printexc renders Failure "boom-q" as Failure("boom-q"); json_escape
+     then escapes those inner quotes for the manifest. *)
+  check_bool "failure message escaped" true (mem "Failure(\\\"boom-q\\\")");
+  check_bool "failed count" true (mem "\"failed\": 1")
+
+let suites =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    ( "supervised.fold",
+      [
+        tc "crash yields structured failure + salvaged prefix"
+          test_crash_structured;
+        tc "salvage invariants hold under parallel workers"
+          test_crash_salvage_parallel;
+        tc "persist failure recorded as the chunk's failure"
+          test_persist_failure_recorded;
+        tc "cancel before the first chunk" test_cancel_before_first_chunk;
+        tc "cancel fires only at chunk boundaries"
+          test_cancel_at_chunk_boundary;
+      ] );
+    ( "supervised.checkpoint",
+      [
+        tc "store/load round-trip and clear" test_checkpoint_roundtrip;
+        tc "key mismatch is rejected" test_checkpoint_key_mismatch;
+        tc "experiment names are sanitized" test_checkpoint_sanitized_dir;
+      ] );
+    ( "supervised.runner",
+      [
+        tc "crash salvages the completed-trial prefix exactly"
+          test_runner_crash_salvage;
+        tc "interrupt + resume is byte-identical"
+          test_runner_checkpoint_resume_exact;
+      ] );
+    ( "supervised.ctx",
+      [
+        tc "failure becomes a structured record" test_supervise_failure_record;
+        tc "timeout salvages the registered table"
+          test_supervise_timeout_salvages_table;
+        tc "armed watchdog cancels and raises" test_supervise_armed_watchdog;
+        tc "failures are isolated; exit code trips"
+          test_supervise_isolation_and_exit;
+        tc "manifest shape" test_manifest_shape;
+      ] );
+  ]
