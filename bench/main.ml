@@ -13,7 +13,13 @@
 
    Part 2 — parallel throughput: times one run_trials workload at jobs = 1
    and jobs = max, checks the summaries match, and writes trials/sec to
-   results/bench_parallel.json.
+   results/bench_parallel.json (the multi-domain leg is skipped on a
+   single-core machine, where it could only measure domain overhead).
+
+   Part 2b — delivery hot path ("--hotpath-only" runs just this): ns/round
+   of Engine.step for SynRan at n in {64, 256, 1024, 4096}, aggregate fast
+   path vs legacy materialized exchange, written to
+   results/bench_hotpath.json.
 
    Part 3 — bechamel microbenchmarks: one Test.make per experiment table
    (timing its regeneration at the quick profile) plus the simulator's hot
@@ -73,6 +79,9 @@ let print_tables ~jobs ~resume ~deadline_s profile =
 (* Part 2: parallel throughput                                         *)
 (* ------------------------------------------------------------------ *)
 
+let ensure_results_dir () =
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755
+
 let parallel_bench () =
   let n = 96 and trials = 200 in
   let protocol = Core.Synran.protocol n in
@@ -102,38 +111,141 @@ let parallel_bench () =
     in
     (s, dt)
   in
-  let jobs_max = Stdlib.max 2 (Sim.Parallel.default_jobs ()) in
+  let cores = Sim.Parallel.default_jobs () in
   let s1, dt1 = run 1 in
-  let sm, dtm = run jobs_max in
-  let identical =
-    Sim.Runner.mean_rounds s1 = Sim.Runner.mean_rounds sm
-    && Stats.Histogram.bins s1.Sim.Runner.rounds_hist
-       = Stats.Histogram.bins sm.Sim.Runner.rounds_hist
-  in
-  if not identical then
-    prerr_endline "WARNING: parallel summary differs from sequential run";
   let tps dt = float_of_int trials /. dt in
-  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  ensure_results_dir ();
   let oc = open_out "results/bench_parallel.json" in
+  if cores <= 1 then begin
+    (* One core: a multi-domain leg only measures domain overhead (the
+       jobs=2 run used to clock 0.45x of jobs=1 here), so skip it. *)
+    Printf.fprintf oc
+      "{\n\
+      \  \"workload\": \"synran n=%d t=%d vs band-control, %d trials, seed \
+       %d\",\n\
+      \  \"cores\": %d,\n\
+      \  \"runs\": [\n\
+      \    { \"jobs\": 1, \"seconds\": %.3f, \"trials_per_sec\": %.2f }\n\
+      \  ],\n\
+      \  \"multi_domain_leg\": \"skipped: 1 core\"\n\
+       }\n"
+      n (n - 1) trials seed cores dt1 (tps dt1);
+    Printf.printf
+      "parallel throughput: %.1f trials/sec at jobs=1; multi-domain leg \
+       skipped (1 core) -> results/bench_parallel.json\n\n"
+      (tps dt1)
+  end
+  else begin
+    let jobs_max = cores in
+    let sm, dtm = run jobs_max in
+    let identical =
+      Sim.Runner.mean_rounds s1 = Sim.Runner.mean_rounds sm
+      && Stats.Histogram.bins s1.Sim.Runner.rounds_hist
+         = Stats.Histogram.bins sm.Sim.Runner.rounds_hist
+    in
+    if not identical then
+      prerr_endline "WARNING: parallel summary differs from sequential run";
+    Printf.fprintf oc
+      "{\n\
+      \  \"workload\": \"synran n=%d t=%d vs band-control, %d trials, seed \
+       %d\",\n\
+      \  \"cores\": %d,\n\
+      \  \"runs\": [\n\
+      \    { \"jobs\": 1, \"seconds\": %.3f, \"trials_per_sec\": %.2f },\n\
+      \    { \"jobs\": %d, \"seconds\": %.3f, \"trials_per_sec\": %.2f }\n\
+      \  ],\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"summaries_identical\": %b\n\
+       }\n"
+      n (n - 1) trials seed cores dt1 (tps dt1) jobs_max dtm (tps dtm)
+      (dt1 /. dtm) identical;
+    Printf.printf
+      "parallel throughput: %.1f trials/sec at jobs=1, %.1f at jobs=%d \
+       (speedup %.2fx, summaries %s) -> results/bench_parallel.json\n\n"
+      (tps dt1) (tps dtm) jobs_max (dt1 /. dtm)
+      (if identical then "identical" else "DIFFER")
+  end;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Part 2b: delivery hot path (aggregate fast path vs legacy)          *)
+(* ------------------------------------------------------------------ *)
+
+(* ns/round of [Engine.step] for SynRan under the null adversary, fast
+   (aggregate delivery) vs legacy (materialized per-receiver arrays), so
+   future PRs can diff regressions. Honest rounds are O(n) on the fast path
+   and O(n^2) on the legacy one, hence the per-size repeat counts. *)
+let hotpath_bench () =
+  let now () =
+    (Unix.gettimeofday
+    [@detlint.allow
+      "R2: wall-clock here is the measurement itself (ns/round of the \
+       delivery hot path); it feeds only results/bench_hotpath.json, never \
+       an experiment table"]) ()
+  in
+  let measure protocol n reps =
+    let rounds = ref 0 in
+    let t0 = now () in
+    for i = 1 to reps do
+      let inputs = Prng.Sample.random_bits (Prng.Rng.create (seed + i)) n in
+      let o =
+        Sim.Engine.run protocol Sim.Adversary.null ~inputs ~t:0
+          ~rng:(Prng.Rng.create (100 + i))
+      in
+      rounds := !rounds + o.Sim.Engine.rounds_executed
+    done;
+    (now () -. t0, !rounds)
+  in
+  let sizes = [ (64, 120); (256, 40); (1024, 8); (4096, 2) ] in
+  let rows =
+    List.map
+      (fun (n, reps) ->
+        let p = Core.Synran.protocol n in
+        let fast_dt, fast_rounds = measure p n reps in
+        let legacy_dt, legacy_rounds =
+          measure (Sim.Protocol.legacy p) n reps
+        in
+        if fast_rounds <> legacy_rounds then
+          failwith
+            (Printf.sprintf
+               "hotpath: fast/legacy round counts differ at n=%d (%d vs %d)"
+               n fast_rounds legacy_rounds);
+        let ns dt rounds = dt /. float_of_int rounds *. 1e9 in
+        let fast_ns = ns fast_dt fast_rounds in
+        let legacy_ns = ns legacy_dt legacy_rounds in
+        Printf.printf
+          "hotpath n=%4d: %10.0f ns/round fast, %12.0f ns/round legacy \
+           (%5.1fx, %d rounds/trial)\n"
+          n fast_ns legacy_ns (legacy_ns /. fast_ns) (fast_rounds / reps);
+        Printf.sprintf
+          "    { \"n\": %d, \"trials\": %d, \"rounds_total\": %d,\n\
+          \      \"fast\": { \"ns_per_round\": %.0f, \"trials_per_sec\": \
+           %.2f },\n\
+          \      \"legacy\": { \"ns_per_round\": %.0f, \"trials_per_sec\": \
+           %.2f },\n\
+          \      \"speedup\": %.2f }"
+          n reps fast_rounds fast_ns
+          (float_of_int reps /. fast_dt)
+          legacy_ns
+          (float_of_int reps /. legacy_dt)
+          (legacy_ns /. fast_ns))
+      sizes
+  in
+  ensure_results_dir ();
+  let oc = open_out "results/bench_hotpath.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"workload\": \"synran n=%d t=%d vs band-control, %d trials, seed \
-     %d\",\n\
-    \  \"runs\": [\n\
-    \    { \"jobs\": 1, \"seconds\": %.3f, \"trials_per_sec\": %.2f },\n\
-    \    { \"jobs\": %d, \"seconds\": %.3f, \"trials_per_sec\": %.2f }\n\
-    \  ],\n\
-    \  \"speedup\": %.2f,\n\
-    \  \"summaries_identical\": %b\n\
+    \  \"workload\": \"synran vs null adversary, random-bit inputs, seed \
+     %d; ns/round of Engine.step, aggregate fast path vs legacy \
+     materialized exchange\",\n\
+    \  \"rows\": [\n%s\n\
+    \  ]\n\
      }\n"
-    n (n - 1) trials seed dt1 (tps dt1) jobs_max dtm (tps dtm) (dt1 /. dtm)
-    identical;
+    seed
+    (String.concat ",\n" rows);
   close_out oc;
-  Printf.printf
-    "parallel throughput: %.1f trials/sec at jobs=1, %.1f at jobs=%d \
-     (speedup %.2fx, summaries %s) -> results/bench_parallel.json\n\n"
-    (tps dt1) (tps dtm) jobs_max (dt1 /. dtm)
-    (if identical then "identical" else "DIFFER")
+  print_endline "-> results/bench_hotpath.json";
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: bechamel                                                    *)
@@ -252,11 +364,15 @@ let () =
   in
   let tables_only = List.mem "--tables-only" args in
   let micro_only = List.mem "--micro-only" args in
+  let hotpath_only = List.mem "--hotpath-only" args in
   let jobs =
     let rec find = function
       | "--jobs" :: v :: _ -> (
           match int_of_string_opt v with
-          | Some j when j >= 1 -> j
+          (* More domains than cores only adds scheduling overhead (and on
+             this box, a 2.2x slowdown), so clamp to the core count. Tables
+             are bit-identical at any jobs value, so clamping is safe. *)
+          | Some j when j >= 1 -> Stdlib.min j (Sim.Parallel.default_jobs ())
           | _ -> failwith ("bad --jobs value " ^ v))
       | _ :: rest -> find rest
       | [] -> Sim.Parallel.default_jobs ()
@@ -275,8 +391,12 @@ let () =
     in
     find args
   in
-  if not micro_only then print_tables ~jobs ~resume ~deadline_s profile;
-  if not tables_only then begin
-    parallel_bench ();
-    run_bechamel ()
+  if hotpath_only then hotpath_bench ()
+  else begin
+    if not micro_only then print_tables ~jobs ~resume ~deadline_s profile;
+    if not tables_only then begin
+      parallel_bench ();
+      hotpath_bench ();
+      run_bechamel ()
+    end
   end

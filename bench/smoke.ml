@@ -1,0 +1,62 @@
+(* Fast-path smoke test: one quick aggregate-vs-legacy equivalence
+   workload, wired into tier-1 as `dune build @bench-smoke` (a dep of
+   @runtest). Exits non-zero on any divergence between the engine's
+   aggregate delivery and the legacy materialized exchange, so a fast-path
+   regression fails plain `dune runtest` — the QCheck differential
+   properties in test_delivery.ml then localize it. *)
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "bench-smoke: DIVERGENCE: %s\n" what
+  end
+
+let outcomes_equal (a : Sim.Engine.outcome) (b : Sim.Engine.outcome) =
+  a.Sim.Engine.rounds_executed = b.Sim.Engine.rounds_executed
+  && a.rounds_to_decide = b.rounds_to_decide
+  && a.decisions = b.decisions
+  && a.faulty = b.faulty
+  && a.halted = b.halted
+  && a.kills_used = b.kills_used
+  && a.quiescent = b.quiescent
+  && Option.map Sim.Trace.records a.trace = Option.map Sim.Trace.records b.trace
+
+let compare_runs name protocol adversary ~n ~t ~seed =
+  let run p adv =
+    let rng = Prng.Rng.create seed in
+    let inputs = Prng.Sample.random_bits (Prng.Rng.create (seed + 1)) n in
+    Sim.Engine.run ~record_trace:true ~max_rounds:2000 p (adv ()) ~inputs ~t
+      ~rng
+  in
+  let fast = run protocol adversary in
+  let legacy = run (Sim.Protocol.legacy protocol) adversary in
+  check name (outcomes_equal fast legacy)
+
+let () =
+  let rules = Core.Onesided.paper in
+  for seed = 1 to 5 do
+    compare_runs
+      (Printf.sprintf "synran n=64 vs band-control (seed %d)" seed)
+      (Core.Synran.protocol 64)
+      (fun () ->
+        Core.Lb_adversary.band_control ~rules
+          ~bit_of_msg:Core.Synran.bit_of_msg ())
+      ~n:64 ~t:63 ~seed;
+    compare_runs
+      (Printf.sprintf "synran n=48 vs random-partial (seed %d)" seed)
+      (Core.Synran.protocol 48)
+      (fun () -> Baselines.Adversaries.random_partial ~p:0.1)
+      ~n:48 ~t:24 ~seed;
+    compare_runs
+      (Printf.sprintf "floodset n=32 vs drip (seed %d)" seed)
+      (Baselines.Floodset.protocol ~rounds:9 ())
+      (fun () -> Baselines.Adversaries.drip ~per_round:1)
+      ~n:32 ~t:8 ~seed
+  done;
+  if !failures > 0 then begin
+    Printf.eprintf "bench-smoke: %d divergence(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "bench-smoke: fast path and legacy path agree"

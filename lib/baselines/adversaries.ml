@@ -50,7 +50,7 @@ let static_schedule schedule =
                  round = view.Adversary.round
                  && pid >= 0
                  && pid < view.Adversary.n
-                 && view.Adversary.active.(pid)
+                 && view.Adversary.active pid
                then Some (Adversary.kill_silent pid)
                else None)
         |> take_budget view);

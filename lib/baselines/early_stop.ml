@@ -15,6 +15,8 @@ type state = {
 
 let decided_early s = s.early
 
+type acc = { saw_zero : bool; saw_one : bool; senders : IntSet.t }
+
 let protocol ~rounds ?(default = 0) () =
   if rounds < 1 then invalid_arg "Early_stop.protocol: rounds must be >= 1";
   if default <> 0 && default <> 1 then invalid_arg "Early_stop.protocol: default";
@@ -38,43 +40,49 @@ let protocol ~rounds ?(default = 0) () =
     | true, true -> s.default
     | false, false -> assert false
   in
-  let phase_b s ~round:_ ~received =
-    let has_zero = ref s.has_zero and has_one = ref s.has_one in
-    let senders = ref IntSet.empty in
-    Array.iter
-      (fun (src, (m : msg)) ->
-        senders := IntSet.add src !senders;
-        if m.has_zero then has_zero := true;
-        if m.has_one then has_one := true)
-      received;
+  (* Value-word OR plus sender-set union — both commutative, so the engine's
+     shared-aggregate path applies (the set makes absorb O(log n)). *)
+  let absorb acc ~pid (m : msg) =
+    {
+      saw_zero = acc.saw_zero || m.has_zero;
+      saw_one = acc.saw_one || m.has_one;
+      senders = IntSet.add pid acc.senders;
+    }
+  in
+  let finish s ~round:_ acc =
+    let has_zero = s.has_zero || acc.saw_zero in
+    let has_one = s.has_one || acc.saw_one in
     let rounds_done = s.rounds_done + 1 in
     let clean =
       match s.prev_senders with
-      | Some prev -> IntSet.equal prev !senders
+      | Some prev -> IntSet.equal prev acc.senders
       | None -> false
     in
     let decision, early =
       if s.decision <> None then (s.decision, s.early)
-      else if clean then (Some (decide s ~has_zero:!has_zero ~has_one:!has_one), true)
+      else if clean then (Some (decide s ~has_zero ~has_one), true)
       else if rounds_done >= s.rounds_total then
-        (Some (decide s ~has_zero:!has_zero ~has_one:!has_one), false)
+        (Some (decide s ~has_zero ~has_one), false)
       else (None, false)
     in
     {
       s with
-      has_zero = !has_zero;
-      has_one = !has_one;
+      has_zero;
+      has_one;
       rounds_done;
-      prev_senders = Some !senders;
+      prev_senders = Some acc.senders;
       decision;
       early;
     }
   in
-  {
-    Sim.Protocol.name = Printf.sprintf "early-floodset[r=%d]" rounds;
-    init;
-    phase_a;
-    phase_b;
-    decision = (fun s -> s.decision);
-    halted = (fun s -> Option.is_some s.decision);
-  }
+  Sim.Protocol.with_aggregate
+    ~name:(Printf.sprintf "early-floodset[r=%d]" rounds)
+    ~init ~phase_a
+    ~decision:(fun s -> s.decision)
+    ~halted:(fun s -> Option.is_some s.decision)
+    (Sim.Protocol.Aggregate
+       {
+         init = (fun () -> { saw_zero = false; saw_one = false; senders = IntSet.empty });
+         absorb;
+         finish;
+       })

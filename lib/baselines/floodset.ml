@@ -25,18 +25,16 @@ let protocol ~rounds ?(default = 0) () =
     }
   in
   let phase_a s _rng = (s, { has_zero = s.has_zero; has_one = s.has_one }) in
-  let phase_b s ~round:_ ~received =
-    let has_zero = ref s.has_zero and has_one = ref s.has_one in
-    Array.iter
-      (fun (_, (m : msg)) ->
-        if m.has_zero then has_zero := true;
-        if m.has_one then has_one := true)
-      received;
+  (* The round's messages collapse to the OR of their value words — a
+     commutative fold, so the engine's shared-aggregate path applies. *)
+  let absorb (z, o) ~pid:_ (m : msg) = (z || m.has_zero, o || m.has_one) in
+  let finish s ~round:_ (z, o) =
+    let has_zero = s.has_zero || z and has_one = s.has_one || o in
     let rounds_done = s.rounds_done + 1 in
     let decision =
       if rounds_done < s.rounds_total then None
       else
-        match (!has_zero, !has_one) with
+        match (has_zero, has_one) with
         | true, false -> Some 0
         | false, true -> Some 1
         | true, true -> Some s.default
@@ -44,13 +42,12 @@ let protocol ~rounds ?(default = 0) () =
             (* Unreachable: a process always sees its own input. *)
             assert false
     in
-    { s with has_zero = !has_zero; has_one = !has_one; rounds_done; decision }
+    { s with has_zero; has_one; rounds_done; decision }
   in
-  {
-    Sim.Protocol.name = Printf.sprintf "floodset[r=%d]" rounds;
-    init;
-    phase_a;
-    phase_b;
-    decision = (fun s -> s.decision);
-    halted = (fun s -> Option.is_some s.decision);
-  }
+  Sim.Protocol.with_aggregate
+    ~name:(Printf.sprintf "floodset[r=%d]" rounds)
+    ~init ~phase_a
+    ~decision:(fun s -> s.decision)
+    ~halted:(fun s -> Option.is_some s.decision)
+    (Sim.Protocol.Aggregate
+       { init = (fun () -> (false, false)); absorb; finish })

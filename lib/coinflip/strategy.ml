@@ -100,7 +100,8 @@ let toward_value =
       |> List.filter (fun i -> values.(i) <> target)
       |> List.sort (fun i j ->
              let w i = Option.value ~default:0 (Hashtbl.find_opt freq values.(i)) in
-             compare (w j, i) (w i, j))
+             let c = Int.compare (w j) (w i) in
+             if c <> 0 then c else Int.compare i j)
     in
     let rec loop = function
       | [] -> ()
@@ -147,7 +148,7 @@ let forced_outcome g values ~strategy ~budget ~target =
   let hidden = strategy.act g values ~budget ~target in
   if List.length hidden > budget then
     invalid_arg (strategy.name ^ ": strategy exceeded its budget");
-  if List.length (List.sort_uniq compare hidden) <> List.length hidden then
+  if List.length (List.sort_uniq Int.compare hidden) <> List.length hidden then
     invalid_arg (strategy.name ^ ": strategy hid a player twice");
   Game.eval_with_hidden g values ~hidden
 

@@ -35,12 +35,9 @@ let receivers view =
 
 let partition_senders view ~bit_of_msg =
   let ones = ref [] and zeros = ref [] in
-  for i = Array.length view.Sim.Adversary.pending - 1 downto 0 do
-    match view.Sim.Adversary.pending.(i) with
-    | None -> ()
-    | Some m -> if bit_of_msg m = 1 then ones := i :: !ones else zeros := i :: !zeros
-  done;
-  (!ones, !zeros)
+  Sim.Adversary.iter_pending view (fun i m ->
+      if bit_of_msg m = 1 then ones := i :: !ones else zeros := i :: !zeros);
+  (List.rev !ones, List.rev !zeros)
 
 let band_control ?(config = default_config) ~rules ~bit_of_msg () =
   Onesided.validate rules;
@@ -154,7 +151,7 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
         in
         (* Promote the receivers with the smallest thresholds. *)
         let sorted =
-          List.sort (fun a b -> compare (nprev_of a) (nprev_of b)) recv
+          List.sort (fun a b -> Int.compare (nprev_of a) (nprev_of b)) recv
         in
         let rec take k = function
           | [] -> []
@@ -399,7 +396,7 @@ let leader_killer ?(config = default_config) ~rules ~bit_of_msg ~prio_of_msg ()
     let senders =
       List.filter_map
         (fun pid ->
-          match view.Sim.Adversary.pending.(pid) with
+          match view.Sim.Adversary.pending pid with
           | Some m -> Some (pid, bit_of_msg m, prio_of_msg m)
           | None -> None)
         recv
@@ -435,7 +432,9 @@ let leader_killer ?(config = default_config) ~rules ~bit_of_msg ~prio_of_msg ()
            everyone else adopts the first survivor's. *)
         let sorted =
           List.sort
-            (fun (p1, _, r1) (p2, _, r2) -> compare (r2, p2) (r1, p1))
+            (fun (p1, _, r1) (p2, _, r2) ->
+              let c = Int.compare r2 r1 in
+              if c <> 0 then c else Int.compare p2 p1)
             senders
         in
         match sorted with

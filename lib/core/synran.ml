@@ -52,39 +52,55 @@ let current_b s = s.b
 
 let decided_flag s = s.decided_flag
 
-let tally received =
-  let ones = ref 0 in
-  Array.iter (fun (_, m) -> if m.bit = 1 then incr ones) received;
-  let n = Array.length received in
-  (!ones, n - !ones, n)
+(* Everything SynRan needs from a round's messages, as a commutative fold:
+   the vote tally, the max-(prio, pid) leader (the argmax is unique because
+   pids are distinct, so absorption order cannot matter), and the OR of the
+   broadcast values/value-sets. This is the engine's aggregate: receivers
+   never see a materialized array. *)
+type acc = {
+  a_ones : int;
+  a_nrecv : int;
+  a_best_prio : int;
+  a_best_pid : int;  (* -1 = no message absorbed yet *)
+  a_best_bit : int;
+  a_saw_zero : bool;
+  a_saw_one : bool;
+}
+
+let acc_init () =
+  {
+    a_ones = 0;
+    a_nrecv = 0;
+    a_best_prio = min_int;
+    a_best_pid = -1;
+    a_best_bit = -1;
+    a_saw_zero = false;
+    a_saw_one = false;
+  }
+
+let acc_absorb acc ~pid m =
+  (* The leader comparator is lexicographic (prio, pid) on ints — the
+     Section 1.2 "dictator" tie-break, spelled out with int comparisons. *)
+  let better =
+    m.prio > acc.a_best_prio || (m.prio = acc.a_best_prio && pid > acc.a_best_pid)
+  in
+  let det_zero, det_one =
+    match m.det with None -> (false, false) | Some (z, o) -> (z, o)
+  in
+  {
+    a_ones = acc.a_ones + m.bit;
+    a_nrecv = acc.a_nrecv + 1;
+    a_best_prio = (if better then m.prio else acc.a_best_prio);
+    a_best_pid = (if better then pid else acc.a_best_pid);
+    a_best_bit = (if better then m.bit else acc.a_best_bit);
+    a_saw_zero = acc.a_saw_zero || m.bit = 0 || det_zero;
+    a_saw_one = acc.a_saw_one || m.bit = 1 || det_one;
+  }
 
 (* The leader coin: the bit of the highest-(priority, pid) message received
-   this round — a "dictator" one-round game (Section 2), trivially
-   controllable by an adaptive adversary but unbiasable by an oblivious
-   one. Received arrays are never empty (own message always arrives). *)
-let leader_bit received =
-  let best = ref None in
-  Array.iter
-    (fun (pid, m) ->
-      match !best with
-      | None -> best := Some (m.prio, pid, m.bit)
-      | Some (bp, bpid, _) ->
-          if (m.prio, pid) > (bp, bpid) then best := Some (m.prio, pid, m.bit))
-    received;
-  match !best with Some (_, _, bit) -> bit | None -> assert false
-
-let merge_values s received =
-  let has_zero = ref s.has_zero and has_one = ref s.has_one in
-  Array.iter
-    (fun (_, m) ->
-      (if m.bit = 0 then has_zero := true else has_one := true);
-      match m.det with
-      | None -> ()
-      | Some (z, o) ->
-          if z then has_zero := true;
-          if o then has_one := true)
-    received;
-  (!has_zero, !has_one)
+   this round. Received sets are never empty (own message always arrives). *)
+let leader_bit acc =
+  if acc.a_best_pid < 0 then assert false else acc.a_best_bit
 
 (* End of the deterministic stage: the surviving-value rule of Lemma 4.3 —
    the unique value if one survived, otherwise the default 0. *)
@@ -104,12 +120,13 @@ let oracle_bit ~seed ~round =
     (Prng.Splitmix64.mix (Int64.of_int ((seed * 1_000_003) + round)))
   land 1
 
-let step_probabilistic s ~round ~received =
-  let ones, zeros, nrecv = tally received in
+let step_probabilistic s ~round ~acc =
+  let ones = acc.a_ones and nrecv = acc.a_nrecv in
+  let zeros = nrecv - ones in
   let flip_value () =
     match s.coin_mode with
     | Local_flip -> s.coin
-    | Leader_priority -> leader_bit received
+    | Leader_priority -> leader_bit acc
     | Shared_oracle seed -> oracle_bit ~seed ~round
   in
   if float_of_int nrecv < s.threshold then
@@ -147,12 +164,17 @@ let step_probabilistic s ~round ~received =
     }
   end
 
-let step_switching s ~received =
-  let has_zero, has_one = merge_values s received in
+(* Merge the round's broadcast values and value-sets into W (Lemma 4.3's
+   FloodSet union). *)
+let merged_values s ~acc =
+  (s.has_zero || acc.a_saw_zero, s.has_one || acc.a_saw_one)
+
+let step_switching s ~acc =
+  let has_zero, has_one = merged_values s ~acc in
   { s with stage = Deterministic { left = s.det_rounds }; has_zero; has_one }
 
-let step_deterministic s ~left ~received =
-  let has_zero, has_one = merge_values s received in
+let step_deterministic s ~left ~acc =
+  let has_zero, has_one = merged_values s ~acc in
   let left = left - 1 in
   if left = 0 then
     let v = det_decision ~has_zero ~has_one in
@@ -205,23 +227,22 @@ let protocol ?(rules = Onesided.paper) ?(coin = Local_flip) n =
     in
     (s, { bit = s.b; prio; det })
   in
-  let phase_b s ~round ~received =
+  let finish s ~round acc =
     match s.stage with
-    | Probabilistic -> step_probabilistic s ~round ~received
-    | Switching -> step_switching s ~received
-    | Deterministic { left } -> step_deterministic s ~left ~received
+    | Probabilistic -> step_probabilistic s ~round ~acc
+    | Switching -> step_switching s ~acc
+    | Deterministic { left } -> step_deterministic s ~left ~acc
   in
-  {
-    Sim.Protocol.name =
-      Printf.sprintf "synran[%s%s,n=%d]" rules.Onesided.label
-        (match coin with
-        | Local_flip -> ""
-        | Leader_priority -> ",leader"
-        | Shared_oracle _ -> ",oracle")
-        n;
-    init;
-    phase_a;
-    phase_b;
-    decision = (fun s -> s.output);
-    halted = (fun s -> s.halted);
-  }
+  Sim.Protocol.with_aggregate
+    ~name:
+      (Printf.sprintf "synran[%s%s,n=%d]" rules.Onesided.label
+         (match coin with
+         | Local_flip -> ""
+         | Leader_priority -> ",leader"
+         | Shared_oracle _ -> ",oracle")
+         n)
+    ~init ~phase_a
+    ~decision:(fun s -> s.output)
+    ~halted:(fun s -> s.halted)
+    (Sim.Protocol.Aggregate
+       { init = acc_init; absorb = acc_absorb; finish })

@@ -23,13 +23,9 @@ let policies ~rules =
           ignore rng;
           let budget = Stdlib.min view.Sim.Adversary.budget_left 3 in
           let ones = ref [] in
-          Array.iteri
-            (fun pid m ->
-              match m with
-              | Some msg when Synran.bit_of_msg msg = 1 && view.Sim.Adversary.active.(pid)
-                -> ones := pid :: !ones
-              | Some _ | None -> ())
-            view.Sim.Adversary.pending;
+          Sim.Adversary.iter_pending view (fun pid msg ->
+              if Synran.bit_of_msg msg = 1 && view.Sim.Adversary.active pid then
+                ones := pid :: !ones);
           !ones
           |> List.filteri (fun i _ -> i < budget)
           |> List.map Sim.Adversary.kill_silent);
@@ -42,13 +38,9 @@ let policies ~rules =
           ignore rng;
           let budget = Stdlib.min view.Sim.Adversary.budget_left 3 in
           let zeros = ref [] in
-          Array.iteri
-            (fun pid m ->
-              match m with
-              | Some msg when Synran.bit_of_msg msg = 0 && view.Sim.Adversary.active.(pid)
-                -> zeros := pid :: !zeros
-              | Some _ | None -> ())
-            view.Sim.Adversary.pending;
+          Sim.Adversary.iter_pending view (fun pid msg ->
+              if Synran.bit_of_msg msg = 0 && view.Sim.Adversary.active pid then
+                zeros := pid :: !zeros);
           !zeros
           |> List.filteri (fun i _ -> i < budget)
           |> List.map Sim.Adversary.kill_silent);
@@ -62,14 +54,10 @@ let policies ~rules =
         (fun view rng ->
           ignore rng;
           let zeros = ref [] and ones = ref 0 in
-          Array.iteri
-            (fun pid m ->
-              match m with
-              | Some msg when view.Sim.Adversary.active.(pid) ->
-                  if Synran.bit_of_msg msg = 0 then zeros := pid :: !zeros
-                  else incr ones
-              | Some _ | None -> ())
-            view.Sim.Adversary.pending;
+          Sim.Adversary.iter_pending view (fun pid msg ->
+              if view.Sim.Adversary.active pid then
+                if Synran.bit_of_msg msg = 0 then zeros := pid :: !zeros
+                else incr ones);
           if
             !ones >= 1 && !zeros <> []
             && List.length !zeros <= view.Sim.Adversary.budget_left
@@ -84,14 +72,10 @@ let policies ~rules =
         (fun view rng ->
           ignore rng;
           let ones = ref [] and zeros = ref 0 in
-          Array.iteri
-            (fun pid m ->
-              match m with
-              | Some msg when view.Sim.Adversary.active.(pid) ->
-                  if Synran.bit_of_msg msg = 1 then ones := pid :: !ones
-                  else incr zeros
-              | Some _ | None -> ())
-            view.Sim.Adversary.pending;
+          Sim.Adversary.iter_pending view (fun pid msg ->
+              if view.Sim.Adversary.active pid then
+                if Synran.bit_of_msg msg = 1 then ones := pid :: !ones
+                else incr zeros);
           if
             !zeros >= 1 && !ones <> []
             && List.length !ones <= view.Sim.Adversary.budget_left

@@ -9,22 +9,31 @@ type ('state, 'msg) view = {
   n : int;
   t : int;
   budget_left : int;
-  alive : bool array;
-  active : bool array;
-  states : 'state array;
-  pending : 'msg option array;
-  decisions : int option array;
+  alive : int -> bool;
+  active : int -> bool;
+  state : int -> 'state;
+  pending : int -> 'msg option;
+  decision : int -> int option;
 }
 
 let alive_count v =
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v.alive
+  let c = ref 0 in
+  for i = 0 to v.n - 1 do
+    if v.alive i then incr c
+  done;
+  !c
 
 let active_pids v =
   let acc = ref [] in
-  for i = Array.length v.active - 1 downto 0 do
-    if v.active.(i) then acc := i :: !acc
+  for i = v.n - 1 downto 0 do
+    if v.active i then acc := i :: !acc
   done;
   !acc
+
+let iter_pending v f =
+  for i = 0 to v.n - 1 do
+    match v.pending i with None -> () | Some m -> f i m
+  done
 
 type ('state, 'msg) t = {
   name : string;

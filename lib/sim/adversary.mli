@@ -27,18 +27,29 @@ type ('state, 'msg) view = {
   n : int;
   t : int;  (** The adversary's total corruption budget. *)
   budget_left : int;  (** Kills still available. *)
-  alive : bool array;  (** Not yet failed. *)
-  active : bool array;  (** Alive and not halted: broadcasting this round. *)
-  states : 'state array;
-      (** Post-Phase-A states. Entries for inactive processes are stale. *)
-  pending : 'msg option array;
+  alive : int -> bool;  (** Not yet failed. *)
+  active : int -> bool;  (** Alive and not halted: broadcasting this round. *)
+  state : int -> 'state;
+      (** Post-Phase-A state. Entries for inactive processes are stale. *)
+  pending : int -> 'msg option;
       (** The message each active process is about to broadcast. *)
-  decisions : int option array;
+  decision : int -> int option;
 }
+(** A zero-copy window onto the execution. The accessors read the engine's
+    own arrays — no per-round copies — and are only valid during the
+    [plan] call that received them: the engine mutates the underlying
+    state as soon as [plan] returns. Adversaries that need state beyond
+    their own invocation must copy what they keep (all in-tree adversaries
+    extract scalars or fresh lists, which is safe by construction). *)
 
 val alive_count : ('state, 'msg) view -> int
 
 val active_pids : ('state, 'msg) view -> int list
+(** Pids with [view.active], ascending. *)
+
+val iter_pending : ('state, 'msg) view -> (int -> 'msg -> unit) -> unit
+(** [iter_pending v f] calls [f pid msg] for every staged broadcast,
+    ascending by pid. *)
 
 type ('state, 'msg) t = {
   name : string;

@@ -17,6 +17,12 @@ type ('state, 'msg) exec = {
   mutable kills_used : int;
   trace : Trace.t option;
   observer : ('msg -> bool) option;
+  (* Round-scoped scratch, reused across rounds to keep honest-round
+     allocation O(1). Contents are dead between steps; each buffer is
+     cleared before use. *)
+  pending : 'msg option array;
+  killed : bool array;
+  kill_seen : bool array;
 }
 
 type outcome = {
@@ -52,6 +58,9 @@ let start ?(record_trace = false) ?observer protocol ~inputs ~t ~rng =
     kills_used = 0;
     trace = (if record_trace then Some (Trace.create ~n) else None);
     observer;
+    pending = Array.make n None;
+    killed = Array.make n false;
+    kill_seen = Array.make n false;
   }
 
 let active_at e i = e.alive.(i) && not e.halted.(i)
@@ -69,7 +78,8 @@ let alive_count e =
 let budget_left e = e.t - e.kills_used
 
 let validate_kills e kills =
-  let seen = Array.make e.n false in
+  let seen = e.kill_seen in
+  Array.fill seen 0 e.n false;
   List.iter
     (fun { Adversary.victim; deliver_to } ->
       if victim < 0 || victim >= e.n then
@@ -96,7 +106,8 @@ let step e adversary =
   if active_count e = 0 then `Quiescent
   else begin
     let round = e.round + 1 in
-    let pending = Array.make e.n None in
+    let pending = e.pending in
+    Array.fill pending 0 e.n None;
     (* Phase A: every active process computes and stages its broadcast. *)
     for i = 0 to e.n - 1 do
       if active_at e i then begin
@@ -105,23 +116,26 @@ let step e adversary =
         pending.(i) <- Some msg
       end
     done;
-    (* The adversary observes everything and picks its kills. *)
+    (* The adversary observes everything and picks its kills. The view is
+       zero-copy: its accessors read the live arrays, which the engine does
+       not touch until [plan] returns. *)
     let view =
       {
         Adversary.round;
         n = e.n;
         t = e.t;
         budget_left = budget_left e;
-        alive = Array.copy e.alive;
-        active = Array.init e.n (active_at e);
-        states = Array.copy e.states;
-        pending = Array.copy pending;
-        decisions = Array.copy e.decisions;
+        alive = (fun i -> e.alive.(i));
+        active = (fun i -> active_at e i);
+        state = (fun i -> e.states.(i));
+        pending = (fun i -> pending.(i));
+        decision = (fun i -> e.decisions.(i));
       }
     in
     let kills = adversary.Adversary.plan view e.adv_rng in
     validate_kills e kills;
-    let killed = Array.make e.n false in
+    let killed = e.killed in
+    Array.fill killed 0 e.n false;
     let partial = Hashtbl.create 8 in
     List.iter
       (fun { Adversary.victim; deliver_to } ->
@@ -138,56 +152,119 @@ let step e adversary =
     let delivered = ref 0 in
     let newly_decided = ref 0 in
     let newly_halted = ref 0 in
-    for j = 0 to e.n - 1 do
-      if active_at e j && not killed.(j) then begin
-        let received = ref [] in
-        for i = e.n - 1 downto 0 do
+    (* Shared Phase-B bookkeeping: decision discipline, halting, counters. *)
+    let commit j state' =
+      let before = e.decisions.(j) in
+      let after = e.protocol.Protocol.decision state' in
+      (match (before, after) with
+      | Some v, Some v' when v <> v' ->
+          raise
+            (Decision_changed
+               (Printf.sprintf "process %d changed decision %d -> %d" j v v'))
+      | Some v, None ->
+          raise
+            (Decision_changed (Printf.sprintf "process %d revoked decision %d" j v))
+      | None, Some _ ->
+          incr newly_decided;
+          e.decision_round.(j) <- round
+      | None, None | Some _, Some _ -> ());
+      e.decisions.(j) <- after;
+      if e.protocol.Protocol.halted state' && not e.halted.(j) then begin
+        if after = None then
+          raise
+            (Decision_changed
+               (Printf.sprintf "process %d halted without deciding" j));
+        incr newly_halted;
+        e.halted.(j) <- true
+      end;
+      e.states.(j) <- state'
+    in
+    (match e.protocol.Protocol.aggregate with
+    | Some (Protocol.Aggregate a) when kills = [] ->
+        (* Shared-broadcast fast path: with no kills every receiver sees the
+           identical sender set, so one O(n) fold serves all of them. The
+           absorb order (ascending sender) matches the legacy received
+           array exactly, so this agrees even for non-commutative folds. *)
+        let acc = ref (a.init ()) in
+        let nsenders = ref 0 in
+        for i = 0 to e.n - 1 do
           match pending.(i) with
           | None -> ()
-          | Some msg ->
-              let gets_it =
-                if not killed.(i) then true
-                else if i = j then true
-                else
-                  match Hashtbl.find_opt partial i with
-                  | None -> false
-                  | Some mask -> mask.(j)
-              in
-              if gets_it then begin
-                received := (i, msg) :: !received;
-                incr delivered
-              end
+          | Some m ->
+              acc := a.absorb !acc ~pid:i m;
+              incr nsenders
         done;
-        let state' =
-          e.protocol.Protocol.phase_b e.states.(j) ~round
-            ~received:(Array.of_list !received)
-        in
-        let before = e.decisions.(j) in
-        let after = e.protocol.Protocol.decision state' in
-        (match (before, after) with
-        | Some v, Some v' when v <> v' ->
-            raise
-              (Decision_changed
-                 (Printf.sprintf "process %d changed decision %d -> %d" j v v'))
-        | Some v, None ->
-            raise
-              (Decision_changed (Printf.sprintf "process %d revoked decision %d" j v))
-        | None, Some _ ->
-            incr newly_decided;
-            e.decision_round.(j) <- round
-        | None, None | Some _, Some _ -> ());
-        e.decisions.(j) <- after;
-        if e.protocol.Protocol.halted state' && not e.halted.(j) then begin
-          if after = None then
-            raise
-              (Decision_changed
-                 (Printf.sprintf "process %d halted without deciding" j));
-          incr newly_halted;
-          e.halted.(j) <- true
-        end;
-        e.states.(j) <- state'
-      end
-    done;
+        let shared = !acc in
+        for j = 0 to e.n - 1 do
+          if active_at e j then begin
+            delivered := !delivered + !nsenders;
+            commit j (a.finish e.states.(j) ~round shared)
+          end
+        done
+    | Some (Protocol.Aggregate a) ->
+        (* Kill round: fold the surviving senders once, then replay each
+           receiver's partial deliveries on top. Sound because [absorb] is
+           commutative (Protocol contract): a receiver's extras land after
+           the survivors instead of interleaved by sender id. *)
+        let base = ref (a.init ()) in
+        let nsurvivors = ref 0 in
+        for i = 0 to e.n - 1 do
+          match pending.(i) with
+          | Some m when not killed.(i) ->
+              base := a.absorb !base ~pid:i m;
+              incr nsurvivors
+          | _ -> ()
+        done;
+        let base = !base in
+        let delta = Array.make e.n [] in
+        for i = 0 to e.n - 1 do
+          if killed.(i) then
+            match (pending.(i), Hashtbl.find_opt partial i) with
+            | Some m, Some mask ->
+                for j = 0 to e.n - 1 do
+                  if mask.(j) then delta.(j) <- (i, m) :: delta.(j)
+                done
+            | _ -> ()
+        done;
+        for j = 0 to e.n - 1 do
+          if active_at e j && not killed.(j) then begin
+            let acc = ref base in
+            List.iter
+              (fun (i, m) ->
+                acc := a.absorb !acc ~pid:i m;
+                incr delivered)
+              delta.(j);
+            delivered := !delivered + !nsurvivors;
+            commit j (a.finish e.states.(j) ~round !acc)
+          end
+        done
+    | None ->
+        (* Legacy exchange: materialize each receiver's (sender, msg) array. *)
+        for j = 0 to e.n - 1 do
+          if active_at e j && not killed.(j) then begin
+            let received = ref [] in
+            for i = e.n - 1 downto 0 do
+              match pending.(i) with
+              | None -> ()
+              | Some msg ->
+                  let gets_it =
+                    if not killed.(i) then true
+                    else if i = j then true
+                    else
+                      match Hashtbl.find_opt partial i with
+                      | None -> false
+                      | Some mask -> mask.(j)
+                  in
+                  if gets_it then begin
+                    received := (i, msg) :: !received;
+                    incr delivered
+                  end
+            done;
+            commit j
+              (e.protocol.Protocol.phase_b e.states.(j) ~round
+                 ~received:(Array.of_list !received))
+          end
+        done);
     (* Victims are dead from now on. *)
     let kill_count = ref 0 and partial_count = ref 0 in
     List.iter
@@ -279,6 +356,11 @@ let snapshot e =
     proc_rngs = Array.map Prng.Rng.copy e.proc_rngs;
     adv_rng = Prng.Rng.copy e.adv_rng;
     trace = None;
+    (* Scratch is dead between steps but must not be shared: the copy and
+       the original may be stepped independently. *)
+    pending = Array.make e.n None;
+    killed = Array.make e.n false;
+    kill_seen = Array.make e.n false;
   }
 
 let reseed e rng =

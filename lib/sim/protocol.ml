@@ -1,3 +1,11 @@
+type ('state, 'msg) aggregate =
+  | Aggregate : {
+      init : unit -> 'acc;
+      absorb : 'acc -> pid:int -> 'msg -> 'acc;
+      finish : 'state -> round:int -> 'acc -> 'state;
+    }
+      -> ('state, 'msg) aggregate
+
 type ('state, 'msg) t = {
   name : string;
   init : n:int -> pid:int -> input:int -> 'state;
@@ -5,6 +13,30 @@ type ('state, 'msg) t = {
   phase_b : 'state -> round:int -> received:(int * 'msg) array -> 'state;
   decision : 'state -> int option;
   halted : 'state -> bool;
+  aggregate : ('state, 'msg) aggregate option;
 }
 
 let decided p s = Option.is_some (p.decision s)
+
+let legacy p = { p with aggregate = None }
+
+(* Deriving phase_b from the aggregate makes the two delivery paths agree
+   by construction: the legacy path folds [absorb] over the received array
+   in ascending-sender order and hands the result to [finish], which is
+   exactly what the engine's fast path computes incrementally. *)
+let phase_b_of_aggregate (Aggregate a) =
+  fun s ~round ~received ->
+    let acc = ref (a.init ()) in
+    Array.iter (fun (pid, m) -> acc := a.absorb !acc ~pid m) received;
+    a.finish s ~round !acc
+
+let with_aggregate ~name ~init ~phase_a ~decision ~halted aggregate =
+  {
+    name;
+    init;
+    phase_a;
+    phase_b = phase_b_of_aggregate aggregate;
+    decision;
+    halted;
+    aggregate = Some aggregate;
+  }

@@ -13,6 +13,33 @@
     executions and replays alternative futures, which is only sound if
     states are not shared mutable structures. *)
 
+type ('state, 'msg) aggregate =
+  | Aggregate : {
+      init : unit -> 'acc;  (** The empty aggregate (no message absorbed). *)
+      absorb : 'acc -> pid:int -> 'msg -> 'acc;
+          (** Fold one delivered message in. MUST be commutative (and
+              association-free): the engine's shared-broadcast fast path
+              absorbs a round's survivors once and replays per-receiver
+              partial deliveries on top, so the absorb order seen by a
+              receiver on a kill round differs from the ascending-sender
+              order of the legacy received array. Counting, max-by-key and
+              boolean-or folds qualify; anything order- or
+              grouping-sensitive does not. *)
+      finish : 'state -> round:int -> 'acc -> 'state;
+          (** Complete Phase B from the aggregate — the analogue of
+              [phase_b], with the received array collapsed to ['acc].
+              On no-kill rounds the engine hands the {e same} accumulator
+              value to every receiver's [finish], so [finish] must treat
+              it as read-only. *)
+    }
+      -> ('state, 'msg) aggregate
+(** An optional commutative-fold message consumer. A protocol that only
+    needs a round tally (vote counts, max priority, value-set union, ...)
+    declares one; the engine then never materializes the O(n) per-receiver
+    [(sender, msg)] array, and in rounds with no kills computes one shared
+    O(n) aggregate for all receivers instead of n independent O(n) scans.
+    The accumulator type is existential: each protocol picks its own. *)
+
 type ('state, 'msg) t = {
   name : string;
   init : n:int -> pid:int -> input:int -> 'state;
@@ -21,14 +48,46 @@ type ('state, 'msg) t = {
       (** Local computation and coin flips; returns the broadcast message. *)
   phase_b : 'state -> round:int -> received:(int * 'msg) array -> 'state;
       (** Deliver messages, as (sender, message) pairs sorted by sender.
-          The process's own message is always included. *)
+          The process's own message is always included. Protocols carrying
+          an [aggregate] must keep [phase_b] behaviourally identical to
+          [finish ∘ fold absorb] — use {!with_aggregate}, which derives
+          [phase_b] from the aggregate so the two cannot drift. *)
   decision : 'state -> int option;
       (** The decided output, once the process has irrevocably decided.
           Must never change once set; the engine enforces this. *)
   halted : 'state -> bool;
       (** True once the process has stopped: it no longer sends or receives.
           A halted process must have decided. *)
+  aggregate : ('state, 'msg) aggregate option;
+      (** Declared aggregate consumer, or [None] to always receive the
+          materialized array (the legacy exchange). *)
 }
 
 val decided : ('state, 'msg) t -> 'state -> bool
 (** [decided p s] is [true] iff [p.decision s] is [Some _]. *)
+
+val legacy : ('state, 'msg) t -> ('state, 'msg) t
+(** [legacy p] is [p] with its aggregate dropped: the engine will run it
+    through the materialized-array exchange. Used by the differential
+    tests and the hot-path benchmark to compare the two delivery paths. *)
+
+val phase_b_of_aggregate :
+  ('state, 'msg) aggregate ->
+  'state ->
+  round:int ->
+  received:(int * 'msg) array ->
+  'state
+(** The [phase_b] a given aggregate induces: fold [absorb] over the
+    received array in ascending-sender order, then [finish]. *)
+
+val with_aggregate :
+  name:string ->
+  init:(n:int -> pid:int -> input:int -> 'state) ->
+  phase_a:('state -> Prng.Rng.t -> 'state * 'msg) ->
+  decision:('state -> int option) ->
+  halted:('state -> bool) ->
+  ('state, 'msg) aggregate ->
+  ('state, 'msg) t
+(** Build a protocol whose [phase_b] is {!phase_b_of_aggregate} of the
+    given aggregate — the only way the fast and legacy paths are
+    guaranteed to agree. *)

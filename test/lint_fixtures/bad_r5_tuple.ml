@@ -1,0 +1,9 @@
+(* detlint fixture: linted under a lib/core relpath, every comparison
+   operator applied to a tuple literal must trigger R5 (polymorphic
+   structural comparison on a hot path). *)
+
+let leader_gt prio pid bp bpid = (prio, pid) > (bp, bpid)
+
+let pair_eq a b c d = (a, b) = (c, d)
+
+let tuple_on_right x lo hi = x < (lo, hi)

@@ -1,0 +1,11 @@
+(* detlint fixture: the monomorphic spelling of the same comparisons is
+   clean even inside R5's scope — Int.compare chains and comparison
+   operators on scalar (non-tuple-literal) operands. *)
+
+let leader_gt prio pid bp bpid = prio > bp || (prio = bp && pid > bpid)
+
+let lex_compare (p1, r1) (p2, r2) =
+  let c = Int.compare r2 r1 in
+  if c <> 0 then c else Int.compare p2 p1
+
+let in_band o lo hi = o >= lo && o <= hi

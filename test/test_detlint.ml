@@ -48,10 +48,29 @@ let test_r5_fires () =
   check_strings "R5 and only R5" [ "R5" ] (rules (violations fs));
   Alcotest.(check int) "bare compare and float (=)" 2 (List.length fs)
 
+let test_r5_tuple_fires () =
+  (* The tuple-literal comparison check, in the extended lib/core scope. *)
+  let fs = lint ~relpath:"lib/core/bad_r5_tuple.ml" "bad_r5_tuple.ml" in
+  check_strings "R5 and only R5" [ "R5" ] (rules (violations fs));
+  Alcotest.(check int) "each tuple comparison flagged" 3 (List.length fs)
+
+let test_r5_extended_scope () =
+  (* lib/coinflip joined the R5 scope alongside lib/stats/lib/sim/lib/core. *)
+  check_strings "fires under lib/coinflip" [ "R5" ]
+    (rules (violations (lint ~relpath:"lib/coinflip/bad_r5.ml" "bad_r5.ml")))
+
 let test_r5_scoped () =
-  (* The same file outside lib/stats / lib/sim is not R5's business. *)
+  (* The same files outside the four scoped libraries are not R5's
+     business. *)
   let fs = lint "bad_r5.ml" in
-  check_strings "clean outside scope" [] (rules fs)
+  check_strings "clean outside scope" [] (rules fs);
+  check_strings "tuple fixture clean outside scope" []
+    (rules (lint "bad_r5_tuple.ml"))
+
+let test_good_r5_int () =
+  (* Monomorphic spellings are clean even inside the scope. *)
+  check_strings "Int.compare chains are clean" []
+    (rules (lint ~relpath:"lib/core/good_r5_int.ml" "good_r5_int.ml"))
 
 (* --- known-good fixtures stay clean ----------------------------------- *)
 
@@ -169,13 +188,16 @@ let suites =
         tc "R3 fires on unsorted Hashtbl fold/iter" test_r3_fires;
         tc "R4 fires on captured module state" test_r4_fires;
         tc "R5 fires on polymorphic compare/=" test_r5_fires;
-        tc "R5 is scoped to lib/stats and lib/sim" test_r5_scoped;
+        tc "R5 fires on tuple-literal comparisons" test_r5_tuple_fires;
+        tc "R5 covers lib/coinflip" test_r5_extended_scope;
+        tc "R5 is scoped to the four hot-path libraries" test_r5_scoped;
       ] );
     ( "detlint.clean",
       [
         tc "pure code" test_good_clean;
         tc "Random inside lib/prng" test_good_r1_prng_scoped;
         tc "sorted folds" test_good_r3_sorted;
+        tc "monomorphic comparisons in scope" test_good_r5_int;
         tc "call-local spawn state" test_good_r4_local;
       ] );
     ( "detlint.waivers",

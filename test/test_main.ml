@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "bar-joseph-ben-or-1998"
     (Test_prng.suites @ Test_stats.suites @ Test_sim.suites
-   @ Test_coinflip.suites @ Test_baselines.suites @ Test_synran.suites
-   @ Test_lowerbound.suites @ Test_async.suites @ Test_byz.suites
-   @ Test_supervised.suites @ Test_properties.suites @ Test_detlint.suites)
+   @ Test_delivery.suites @ Test_coinflip.suites @ Test_baselines.suites
+   @ Test_synran.suites @ Test_lowerbound.suites @ Test_async.suites
+   @ Test_byz.suites @ Test_supervised.suites @ Test_properties.suites
+   @ Test_detlint.suites)

@@ -35,6 +35,7 @@ let probe ?(decide_at = max_int) () =
         { s with heard = senders :: s.heard; decision; halted });
     decision = (fun s -> s.decision);
     halted = (fun s -> s.halted);
+    aggregate = None;
   }
 
 let run_probe ?record_trace ?max_rounds ?(decide_at = max_int) ~inputs ~t
@@ -246,6 +247,7 @@ let flip_flop =
     phase_b = (fun s ~round:_ ~received:_ -> s + 1);
     decision = (fun s -> Some (s mod 2));
     halted = (fun _ -> false);
+    aggregate = None;
   }
 
 let test_decision_change_detected () =
@@ -265,6 +267,7 @@ let halt_without_decide =
     phase_b = (fun s ~round:_ ~received:_ -> s);
     decision = (fun _ -> None);
     halted = (fun _ -> true);
+    aggregate = None;
   }
 
 let test_halt_without_decision_detected () =
@@ -307,6 +310,7 @@ let coin_protocol =
     phase_b = (fun s ~round:_ ~received:_ -> s);
     decision = (fun s -> s);
     halted = (fun s -> Option.is_some s);
+    aggregate = None;
   }
 
 let decisions_key o =
@@ -750,6 +754,7 @@ let disagree_protocol =
         else { s with ddecided = true });
     decision = (fun s -> if s.ddecided then Some (s.dpid land 1) else None);
     halted = (fun s -> s.dhalted);
+    aggregate = None;
   }
 
 let error_order_suite =

@@ -20,9 +20,12 @@
        mutable containers, or any top-level binding the file itself mutates)
        referenced inside a closure literal passed to [Domain.spawn] or a
        [Sim.Parallel] entry point.
-   R5  polymorphic [compare] / [=] at float type inside [lib/stats] and
-       [lib/sim]: any bare [compare] (use [Float.compare] / [Int.compare]),
-       and [=] / [<>] where an operand is syntactically float-valued.
+   R5  polymorphic comparison inside the determinism-critical hot-path
+       libraries [lib/stats], [lib/sim], [lib/core] and [lib/coinflip]: any
+       bare [compare] (use [Float.compare] / [Int.compare]), [=] / [<>]
+       where an operand is syntactically float-valued, and any comparison
+       operator applied to a tuple literal (spell the lexicographic
+       comparison out per component).
 
    Rules are heuristic and syntactic by design: they run on the parse tree,
    with no type information, so they can be wired into the build with zero
@@ -57,7 +60,9 @@ let rule_doc = function
   | "R2" -> "wall-clock / entropy source"
   | "R3" -> "unsorted Hashtbl.iter/fold (order-sensitivity heuristic)"
   | "R4" -> "module-level mutable state captured by a parallel closure"
-  | "R5" -> "polymorphic compare/= at float type in lib/stats or lib/sim"
+  | "R5" ->
+      "polymorphic compare/= at float type/tuple comparison in lib/stats, \
+       lib/sim, lib/core or lib/coinflip"
   | "W0" -> "malformed detlint.allow waiver"
   | "P0" -> "parse error"
   | _ -> "unknown rule"
@@ -168,7 +173,10 @@ let rec floatish e =
 let in_scope_r1 relpath = not (has_prefix ~prefix:"lib/prng/" relpath)
 
 let in_scope_r5 relpath =
-  has_prefix ~prefix:"lib/stats/" relpath || has_prefix ~prefix:"lib/sim/" relpath
+  has_prefix ~prefix:"lib/stats/" relpath
+  || has_prefix ~prefix:"lib/sim/" relpath
+  || has_prefix ~prefix:"lib/core/" relpath
+  || has_prefix ~prefix:"lib/coinflip/" relpath
 
 (* ------------------------------------------------------------------ *)
 (* Waiver attribute parsing                                            *)
@@ -441,6 +449,25 @@ class linter ~relpath ~mutable_globals ~(emit : finding -> unit) =
             ~hint:
               "use Float.equal / Float.compare (or an epsilon test); \
                polymorphic equality at float type is NaN-hostile"
+      | _ -> ());
+      (* R5: a comparison operator applied to a syntactic tuple literal —
+         polymorphic structural comparison on a hot path (e.g.
+         [(m.prio, pid) > (bp, bpid)]). *)
+      (match (ident_path fn, args) with
+      | Some (("=" | "<>" | "<" | ">" | "<=" | ">=") as op), [ (_, l); (_, r) ]
+        when in_scope_r5 relpath
+             && (match ((unwrap_constraint l).pexp_desc,
+                        (unwrap_constraint r).pexp_desc) with
+                | Pexp_tuple _, _ | _, Pexp_tuple _ -> true
+                | _ -> false) ->
+          self#report ~rule:"R5" ~loc:fn.pexp_loc
+            ~message:
+              (Printf.sprintf
+                 "polymorphic (%s) applied to a tuple literal" op)
+            ~hint:
+              "spell the lexicographic comparison out with Int.compare / \
+               Float.compare per component; structural comparison allocates \
+               and hides float/NaN hazards on hot paths"
       | _ -> ());
       let fn_path = head_path fn in
       match (ident_path fn, args) with
