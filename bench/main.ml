@@ -34,7 +34,7 @@ let seed = 42
 (* Part 1: experiment tables                                           *)
 (* ------------------------------------------------------------------ *)
 
-let print_tables ~jobs ~resume ~deadline_s profile =
+let print_tables ~jobs ~resume ~deadline_s ?metrics_out ?events_out profile =
   let label =
     match profile with Core.Experiments.Quick -> "quick" | Core.Experiments.Full -> "full"
   in
@@ -68,12 +68,63 @@ let print_tables ~jobs ~resume ~deadline_s profile =
   let profile_label = label in
   Core.Supervise.write_manifest ~path:"results/run_manifest.json"
     ~profile:profile_label ~seed ~jobs ~resume ~deadline_s results;
+  Option.iter
+    (fun path ->
+      Obs.Export.write_metrics ~path (Core.Supervise.merged_metrics results))
+    metrics_out;
+  Option.iter
+    (fun path -> Obs.Export.write_events ~path (Core.Supervise.events ctx))
+    events_out;
   if Core.Supervise.any_failed results then begin
     prerr_endline
       "one or more experiments failed or timed out; see \
        results/run_manifest.json";
     Stdlib.exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Part 1b: per-experiment attribution ("--attribute")                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Where does a pipeline run spend its time and allocation? One quick
+   regeneration per experiment under an [Obs.Clock] span — the quarantined
+   diagnostic clock, so the numbers feed only this table, never an
+   experiment result. Allocation is the calling domain's [Gc] delta. *)
+let attribute_bench ~jobs profile =
+  let rows =
+    List.map
+      (fun id ->
+        let f = Option.get (Core.Experiments.by_id id) in
+        let span = Obs.Clock.start id in
+        ignore (f ~jobs profile ~seed);
+        (id, Obs.Clock.elapsed_s span, Obs.Clock.allocated_mb span))
+      Core.Experiments.ids
+  in
+  let total_s = List.fold_left (fun acc (_, s, _) -> acc +. s) 0.0 rows in
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "Per-experiment attribution (diagnostic clock, %s profile, \
+            jobs=%d)"
+           (match profile with
+           | Core.Experiments.Quick -> "quick"
+           | Core.Experiments.Full -> "full")
+           jobs)
+      ~columns:[ "experiment"; "seconds"; "alloc MB"; "time share %" ]
+  in
+  List.iter
+    (fun (id, s, mb) ->
+      Stats.Table.add_row table
+        [
+          Stats.Table.Str id;
+          Stats.Table.Float s;
+          Stats.Table.Float mb;
+          Stats.Table.Float
+            (if total_s > 0.0 then 100.0 *. s /. total_s else 0.0);
+        ])
+    rows;
+  print_endline (Stats.Table.render table)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: parallel throughput                                         *)
@@ -380,6 +431,7 @@ let () =
     find args
   in
   let resume = List.mem "--resume" args in
+  let attribute = List.mem "--attribute" args in
   let deadline_s =
     let rec find = function
       | "--deadline-s" :: v :: _ -> (
@@ -391,9 +443,21 @@ let () =
     in
     find args
   in
-  if hotpath_only then hotpath_bench ()
+  let path_opt flag =
+    let rec find = function
+      | f :: v :: _ when f = flag -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let metrics_out = path_opt "--metrics-out" in
+  let events_out = path_opt "--events-out" in
+  if attribute then attribute_bench ~jobs profile
+  else if hotpath_only then hotpath_bench ()
   else begin
-    if not micro_only then print_tables ~jobs ~resume ~deadline_s profile;
+    if not micro_only then
+      print_tables ~jobs ~resume ~deadline_s ?metrics_out ?events_out profile;
     if not tables_only then begin
       parallel_bench ();
       hotpath_bench ();

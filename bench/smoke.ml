@@ -3,7 +3,12 @@
    @runtest). Exits non-zero on any divergence between the engine's
    aggregate delivery and the legacy materialized exchange, so a fast-path
    regression fails plain `dune runtest` — the QCheck differential
-   properties in test_delivery.ml then localize it. *)
+   properties in test_delivery.ml then localize it.
+
+   Also smoke-validates the observability layer: one captured band-control
+   workload at --jobs 1 vs --jobs 3 must produce byte-identical metrics
+   JSON and event JSONL, and the jobs=1 registry lands in
+   results/metrics.json as the checked-in export shape. *)
 
 let failures = ref 0
 
@@ -34,6 +39,49 @@ let compare_runs name protocol adversary ~n ~t ~seed =
   let legacy = run (Sim.Protocol.legacy protocol) adversary in
   check name (outcomes_equal fast legacy)
 
+let obs_smoke () =
+  let n = 32 and trials = 40 and seed = 7 in
+  let protocol = Core.Synran.protocol n in
+  let make_adversary () =
+    Core.Lb_adversary.band_control ~rules:Core.Onesided.paper
+      ~bit_of_msg:Core.Synran.bit_of_msg ()
+  in
+  let captured jobs =
+    let capture = Obs.Capture.create ~events:true () in
+    let s =
+      Sim.Runner.run_trials ~max_rounds:2000 ~jobs ~capture ~trials ~seed
+        ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+        ~t:(n - 1) protocol make_adversary
+    in
+    (s, capture)
+  in
+  let s1, c1 = captured 1 in
+  let s3, c3 = captured 3 in
+  check "obs: summaries identical at jobs 1 vs 3"
+    (Sim.Runner.mean_rounds s1 = Sim.Runner.mean_rounds s3
+    && Stats.Histogram.bins s1.Sim.Runner.rounds_hist
+       = Stats.Histogram.bins s3.Sim.Runner.rounds_hist);
+  check "obs: metrics JSON byte-identical at jobs 1 vs 3"
+    (Obs.Capture.metrics_json c1 = Obs.Capture.metrics_json c3);
+  check "obs: event JSONL byte-identical at jobs 1 vs 3"
+    (Obs.Capture.events_jsonl c1 = Obs.Capture.events_jsonl c3);
+  check "obs: metrics registry is non-empty"
+    (not (Obs.Metrics.is_empty (Obs.Capture.metrics c1)));
+  check "obs: runner.trials counts every trial"
+    (Obs.Metrics.counter_value (Obs.Capture.metrics c1) "runner.trials"
+    = trials);
+  let json = Obs.Capture.metrics_json c1 in
+  check "obs: metrics export carries its schema tag"
+    (let tag = "\"schema\": \"metrics/v1\"" in
+     let tl = String.length tag and jl = String.length json in
+     let rec scan i = i + tl <= jl && (String.sub json i tl = tag || scan (i + 1)) in
+     scan 0);
+  (* The dune rule declares metrics.json as a target and promotes it to
+     results/metrics.json, so the export ships with the repo. *)
+  Obs.Export.write_metrics ~path:"metrics.json" (Obs.Capture.metrics c1);
+  print_endline
+    "bench-smoke: obs capture identical at jobs 1 and 3 -> results/metrics.json"
+
 let () =
   let rules = Core.Onesided.paper in
   for seed = 1 to 5 do
@@ -55,6 +103,7 @@ let () =
       (fun () -> Baselines.Adversaries.drip ~per_round:1)
       ~n:32 ~t:8 ~seed
   done;
+  obs_smoke ();
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d divergence(s)\n" !failures;
     exit 1

@@ -123,6 +123,43 @@ let adversary_of_name name ~rules ~n ~t ~seed =
         ~prio_of_msg:Core.Synran.prio_of_msg ()
   | other -> generic_adversary_of_name other ~n ~t ~seed
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"PATH"
+        ~doc:
+          "Write the run's metrics registry as JSON (schema metrics/v1, \
+           sorted keys) to $(docv), e.g. results/metrics.json. The file is \
+           byte-identical at any --jobs.")
+
+let events_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-out" ] ~docv:"PATH"
+        ~doc:
+          "Record the full observability event stream and write it as JSONL \
+           (one sorted-key object per line) to $(docv), e.g. \
+           results/events.jsonl. The file is byte-identical at any --jobs.")
+
+(* A capture exists iff some output was requested; events are recorded only
+   when they will actually be written. *)
+let capture_for ~metrics_out ~events_out =
+  match (metrics_out, events_out) with
+  | None, None -> None
+  | _ -> Some (Obs.Capture.create ~events:(events_out <> None) ())
+
+let export_capture ~metrics_out ~events_out = function
+  | None -> ()
+  | Some c ->
+      Option.iter
+        (fun path -> Obs.Export.write_metrics ~path (Obs.Capture.metrics c))
+        metrics_out;
+      Option.iter
+        (fun path -> Obs.Export.write_events ~path (Obs.Capture.events c))
+        events_out
+
 let print_summary name (s : Sim.Runner.summary) =
   Printf.printf "%s\n" name;
   Printf.printf "  trials            %d\n" s.Sim.Runner.trials;
@@ -145,10 +182,12 @@ let print_summary name (s : Sim.Runner.summary) =
     (Stats.Histogram.render ~width:30 s.Sim.Runner.rounds_hist)
 
 let run_cmd =
-  let run n t trials seed jobs rules adv_name proto_name inputs =
+  let run n t trials seed jobs rules adv_name proto_name inputs metrics_out
+      events_out =
     let t = Option.value t ~default:(n - 1) in
     let gen = gen_of_inputs inputs ~n in
-    match proto_name with
+    let capture = capture_for ~metrics_out ~events_out in
+    (match proto_name with
     | "synran" | "leader" ->
         let make_adversary () = adversary_of_name adv_name ~rules ~n ~t ~seed in
         let coin =
@@ -157,7 +196,7 @@ let run_cmd =
         in
         let protocol = Core.Synran.protocol ~rules ~coin n in
         let s =
-          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ~trials ~seed
+          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ?capture ~trials ~seed
             ~gen_inputs:gen ~t protocol make_adversary
         in
         print_summary
@@ -175,18 +214,20 @@ let run_cmd =
         let make_adversary () = generic_adversary_of_name adv_name ~n ~t ~seed in
         let protocol = Baselines.Floodset.protocol ~rounds:(t + 1) () in
         let s =
-          Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ~trials ~seed
-            ~gen_inputs:gen ~t protocol make_adversary
+          Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ?capture ~trials
+            ~seed ~gen_inputs:gen ~t protocol make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
              (make_adversary ()).Sim.Adversary.name n t)
-          s
+          s);
+    export_capture ~metrics_out ~events_out capture
   in
   let term =
     Term.(
       const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ jobs_arg $ rules_arg
-      $ adversary_arg $ protocol_arg $ inputs_arg)
+      $ adversary_arg $ protocol_arg $ inputs_arg $ metrics_out_arg
+      $ events_out_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run many trials of a protocol under an adversary")
     term
@@ -257,7 +298,8 @@ let coinflip_cmd =
     term
 
 let experiments_cmd =
-  let run profile seed jobs which csv resume deadline_s =
+  let run profile seed jobs which csv resume deadline_s metrics_out events_out
+      =
     Printexc.record_backtrace true;
     let profile =
       Option.value (Core.Experiments.profile_of_string profile)
@@ -320,6 +362,16 @@ let experiments_cmd =
     in
     Core.Supervise.write_manifest ~path:"results/run_manifest.json"
       ~profile:profile_label ~seed ~jobs ~resume ~deadline_s results;
+    (* Run-level observability exports: the per-experiment supervision
+       registries merged under "<id>." prefixes, and the supervisor's
+       watchdog/failure event stream. *)
+    Option.iter
+      (fun path ->
+        Obs.Export.write_metrics ~path (Core.Supervise.merged_metrics results))
+      metrics_out;
+    Option.iter
+      (fun path -> Obs.Export.write_events ~path (Core.Supervise.events ctx))
+      events_out;
     if Core.Supervise.any_failed results then begin
       prerr_endline
         "one or more experiments failed or timed out; see \
@@ -373,7 +425,7 @@ let experiments_cmd =
   let term =
     Term.(
       const run $ profile_arg $ seed_arg $ jobs_arg $ which_arg $ csv_arg
-      $ resume_arg $ deadline_arg)
+      $ resume_arg $ deadline_arg $ metrics_out_arg $ events_out_arg)
   in
   Cmd.v
     (Cmd.info "experiments"

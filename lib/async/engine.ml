@@ -12,9 +12,10 @@ type outcome = {
   max_phase : int option;
 }
 
-let run (type s m) ?(max_steps = 200_000) ?phase_of
+let run (type s m) ?(max_steps = 200_000) ?phase_of ?(sink = Obs.Sink.null)
     (protocol : (s, m) Protocol.t) (scheduler : m Scheduler.t) ~inputs ~t ~rng
     =
+  let emit_on = Obs.Sink.enabled sink in
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Async.Engine.run: no processes";
   if t < 0 || t > n then invalid_arg "Async.Engine.run: bad budget";
@@ -62,7 +63,7 @@ let run (type s m) ?(max_steps = 200_000) ?phase_of
         enqueue pid sendlist;
         state)
   in
-  let record_decision pid state =
+  let record_decision pid state ~step =
     let after = protocol.Protocol.decision state in
     match (decisions.(pid), after) with
     | Some v, Some v' when v <> v' ->
@@ -72,6 +73,13 @@ let run (type s m) ?(max_steps = 200_000) ?phase_of
     | Some v, None ->
         raise
           (Decision_changed (Printf.sprintf "process %d revoked decision %d" pid v))
+    | None, Some v ->
+        decisions.(pid) <- after;
+        (* Async has no rounds; the step index is the event's timeline. *)
+        if emit_on then
+          Obs.Sink.emit sink
+            (Obs.Event.Decision
+               { engine = Obs.Event.Async; round = step; pid; value = v })
     | _, after -> decisions.(pid) <- after
   in
   let all_live_decided () =
@@ -109,6 +117,15 @@ let run (type s m) ?(max_steps = 200_000) ?phase_of
             raise (Invalid_action "crash budget exhausted");
           decr crash_budget;
           crashed.(pid) <- true;
+          if emit_on then
+            Obs.Sink.emit sink
+              (Obs.Event.Kill
+                 {
+                   engine = Obs.Event.Async;
+                   round = !steps;
+                   victim = pid;
+                   delivered_to = 0;
+                 });
           (* Its in-flight traffic evaporates, both directions. *)
           let doomed =
             (* Sorted so the removal set never depends on bucket layout
@@ -135,7 +152,7 @@ let run (type s m) ?(max_steps = 200_000) ?phase_of
                     ~sender:m.Scheduler.src m.Scheduler.payload proc_rngs.(dst)
                 in
                 states.(dst) <- state';
-                record_decision dst state';
+                record_decision dst state' ~step:!steps;
                 enqueue dst sendlist
               end)
     end
@@ -172,8 +189,8 @@ type summary = {
   validity_errors : int;
 }
 
-let run_trials ?max_steps ?phase_of ~trials ~seed ~gen_inputs ~t protocol
-    scheduler =
+let run_trials ?max_steps ?phase_of ?capture ~trials ~seed ~gen_inputs ~t
+    protocol scheduler =
   if trials <= 0 then invalid_arg "Async.Engine.run_trials";
   let master = Prng.Rng.create seed in
   let deliveries = Stats.Welford.create () in
@@ -182,10 +199,39 @@ let run_trials ?max_steps ?phase_of ~trials ~seed ~gen_inputs ~t protocol
   let non_terminating = ref 0 in
   let disagreements = ref 0 in
   let validity_errors = ref 0 in
+  (* Sequential loop, so one registry/recorder pair serves every trial;
+     the event order is the deterministic trial-then-step order. *)
+  let obs =
+    Option.map
+      (fun c ->
+        let om = Obs.Metrics.create () in
+        let orec = Obs.Recorder.create () in
+        let events = Obs.Capture.record_events c in
+        let sink =
+          Obs.Sink.create (fun ev ->
+              Obs.Metrics.absorb_event om ev;
+              if events then Obs.Recorder.push orec ev)
+        in
+        (om, orec, sink))
+      capture
+  in
   for _ = 1 to trials do
     let rng = Prng.Rng.split master in
     let inputs = gen_inputs rng in
-    let o = run ?max_steps ?phase_of protocol scheduler ~inputs ~t ~rng in
+    let o =
+      match obs with
+      | None -> run ?max_steps ?phase_of protocol scheduler ~inputs ~t ~rng
+      | Some (_, _, sink) ->
+          run ?max_steps ?phase_of ~sink protocol scheduler ~inputs ~t ~rng
+    in
+    (match obs with
+    | None -> ()
+    | Some (om, _, _) ->
+        Obs.Metrics.incr om "async.trials";
+        Obs.Metrics.observe_int om "async.deliveries" o.deliveries;
+        Obs.Metrics.observe_int om "async.sends" o.sends;
+        Obs.Metrics.observe_int om "async.coin_flips" o.coin_flips;
+        if not o.all_decided then Obs.Metrics.incr om "async.non_terminating");
     if not o.all_decided then incr non_terminating
     else begin
       Stats.Welford.add_int deliveries o.deliveries;
@@ -211,6 +257,10 @@ let run_trials ?max_steps ?phase_of ~trials ~seed ~gen_inputs ~t protocol
           | Some _ | None -> ())
         o.decisions
   done;
+  (match (capture, obs) with
+  | Some c, Some (om, orec, _) ->
+      Obs.Capture.set c ~metrics:om ~events:(Obs.Recorder.events orec)
+  | _ -> ());
   {
     trials;
     deliveries;

@@ -29,6 +29,7 @@ type outcome = {
 val run :
   ?max_steps:int ->
   ?phase_of:('state -> int) ->
+  ?sink:Obs.Sink.t ->
   ('state, 'msg) Protocol.t ->
   'msg Scheduler.t ->
   inputs:int array ->
@@ -36,7 +37,15 @@ val run :
   rng:Prng.Rng.t ->
   outcome
 (** Execute to quiescence or [max_steps] (default 200_000). [t] is the
-    scheduler's crash budget. *)
+    scheduler's crash budget.
+
+    [sink] (default {!Obs.Sink.null}) receives the run's observability
+    events. Async executions have no rounds, so each event's [round]
+    field carries the scheduler step index instead. Per step the order
+    is: {!Obs.Event.Kill} (crash steps, [delivered_to = 0] — crashes
+    never piggyback on deliveries here) or {!Obs.Event.Decision} (the
+    delivery step on which the receiver first decided). A disabled sink
+    costs one boolean load per potential event. *)
 
 type summary = {
   trials : int;
@@ -51,6 +60,7 @@ type summary = {
 val run_trials :
   ?max_steps:int ->
   ?phase_of:('state -> int) ->
+  ?capture:Obs.Capture.t ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
@@ -58,4 +68,12 @@ val run_trials :
   ('state, 'msg) Protocol.t ->
   'msg Scheduler.t ->
   summary
-(** Aggregate repeated runs, checking agreement and validity on each. *)
+(** Aggregate repeated runs, checking agreement and validity on each.
+
+    [capture] attaches the observability layer: engine events feed a
+    metrics registry ([async.trials], [async.deliveries], [async.sends],
+    [async.coin_flips], [async.non_terminating], plus the per-event
+    [async.*] counters from {!Obs.Metrics.absorb_event}) and, when the
+    capture asks for events, the raw stream in trial-then-step order.
+    The loop is sequential, so the capture is deterministic for a fixed
+    [seed]. *)

@@ -12,7 +12,9 @@ type outcome = {
   trace_ones : int list;
 }
 
-let run ?(max_rounds = 10_000) ?observer protocol adversary ~inputs ~t ~rng =
+let run ?(max_rounds = 10_000) ?observer ?(sink = Obs.Sink.null) protocol
+    adversary ~inputs ~t ~rng =
+  let emit_on = Obs.Sink.enabled sink in
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Byz.Engine.run: no processes";
   if t < 0 || t > n then invalid_arg "Byz.Engine.run: bad budget";
@@ -56,17 +58,20 @@ let run ?(max_rounds = 10_000) ?observer protocol adversary ~inputs ~t ~rng =
           pending.(pid) <- Some m
         end
       done;
-      (match observer with
-      | None -> ()
-      | Some f ->
-          let ones = ref 0 in
-          for pid = 0 to n - 1 do
-            if active pid then
-              match pending.(pid) with
-              | Some m when f m -> incr ones
-              | Some _ | None -> ()
-          done;
-          trace_ones := !ones :: !trace_ones);
+      let round_ones =
+        match observer with
+        | None -> None
+        | Some f ->
+            let ones = ref 0 in
+            for pid = 0 to n - 1 do
+              if active pid then
+                match pending.(pid) with
+                | Some m when f m -> incr ones
+                | Some _ | None -> ()
+            done;
+            trace_ones := !ones :: !trace_ones;
+            Some !ones
+      in
       (* The adversary observes everything and dictates. *)
       let pending_exposed =
         Array.mapi
@@ -101,8 +106,22 @@ let run ?(max_rounds = 10_000) ?observer protocol adversary ~inputs ~t ~rng =
           if !corruptions >= t then
             raise (Budget_exceeded (Printf.sprintf "round %d" r));
           incr corruptions;
-          corrupted.(pid) <- true)
+          corrupted.(pid) <- true;
+          if emit_on then
+            Obs.Sink.emit sink
+              (Obs.Event.Kill
+                 {
+                   engine = Obs.Event.Byz;
+                   round = r;
+                   victim = pid;
+                   (* Corruption freezes the process before delivery; a
+                      Byzantine "kill" never partially delivers. *)
+                   delivered_to = 0;
+                 }))
         plan.Adversary.new_corruptions;
+      let delivered_r = ref 0 in
+      let newly_decided = ref 0 in
+      let newly_halted = ref 0 in
       (* Delivery + Phase B for honest, non-halted receivers. *)
       for dst = 0 to n - 1 do
         if active dst then begin
@@ -140,13 +159,48 @@ let run ?(max_rounds = 10_000) ?observer protocol adversary ~inputs ~t ~rng =
               raise
                 (Decision_changed
                    (Printf.sprintf "process %d revoked decision %d" dst v))
-          | None, Some _ -> decision_round.(dst) <- r
+          | None, Some v ->
+              decision_round.(dst) <- r;
+              if emit_on then begin
+                incr newly_decided;
+                Obs.Sink.emit sink
+                  (Obs.Event.Decision
+                     { engine = Obs.Event.Byz; round = r; pid = dst; value = v })
+              end
           | None, None | Some _, Some _ -> ());
           decisions.(dst) <- after;
-          if protocol.Protocol.halted state' then halted.(dst) <- true;
+          if emit_on then delivered_r := !delivered_r + List.length !received;
+          if protocol.Protocol.halted state' then begin
+            halted.(dst) <- true;
+            if emit_on then incr newly_halted
+          end;
           states.(dst) <- state'
         end
-      done
+      done;
+      if emit_on then begin
+        let active_after = ref 0 in
+        for pid = 0 to n - 1 do
+          if active pid then incr active_after
+        done;
+        let victims =
+          plan.Adversary.new_corruptions |> List.sort_uniq Int.compare
+          |> Array.of_list
+        in
+        Obs.Sink.emit sink
+          (Obs.Event.Round
+             {
+               engine = Obs.Event.Byz;
+               round = r;
+               active = !active_after;
+               victims;
+               (* Byzantine corruption has no mid-broadcast cut-off. *)
+               partial_sends = 0;
+               delivered = !delivered_r;
+               newly_decided = !newly_decided;
+               newly_halted = !newly_halted;
+               ones_pending = round_ones;
+             })
+      end
     end
   done;
   let rounds_to_decide =
@@ -215,17 +269,45 @@ type summary = {
   validity_errors : int;
 }
 
-let run_trials ?max_rounds ~trials ~seed ~gen_inputs ~t protocol adversary =
+let run_trials ?max_rounds ?capture ~trials ~seed ~gen_inputs ~t protocol
+    adversary =
   if trials <= 0 then invalid_arg "Byz.Engine.run_trials";
   let master = Prng.Rng.create seed in
   let rounds = Stats.Welford.create () in
   let non_terminating = ref 0 in
   let agreement_errors = ref 0 in
   let validity_errors = ref 0 in
+  (* Sequential loop: one registry/recorder pair serves every trial, and
+     the event order is the deterministic trial-then-round order. *)
+  let obs =
+    Option.map
+      (fun c ->
+        let om = Obs.Metrics.create () in
+        let orec = Obs.Recorder.create () in
+        let events = Obs.Capture.record_events c in
+        let sink =
+          Obs.Sink.create (fun ev ->
+              Obs.Metrics.absorb_event om ev;
+              if events then Obs.Recorder.push orec ev)
+        in
+        (om, orec, sink))
+      capture
+  in
   for _ = 1 to trials do
     let rng = Prng.Rng.split master in
     let inputs = gen_inputs rng in
-    let o = run ?max_rounds protocol adversary ~inputs ~t ~rng in
+    let o =
+      match obs with
+      | None -> run ?max_rounds protocol adversary ~inputs ~t ~rng
+      | Some (_, _, sink) ->
+          run ?max_rounds ~sink protocol adversary ~inputs ~t ~rng
+    in
+    (match obs with
+    | None -> ()
+    | Some (om, _, _) ->
+        Obs.Metrics.incr om "byz.trials";
+        Obs.Metrics.observe_int om "byz.corruptions_used" o.corruptions_used;
+        if not o.quiescent then Obs.Metrics.incr om "byz.round_cap_hits");
     (match o.rounds_to_decide with
     | Some r -> Stats.Welford.add_int rounds r
     | None -> incr non_terminating);
@@ -233,6 +315,10 @@ let run_trials ?max_rounds ~trials ~seed ~gen_inputs ~t protocol adversary =
     if not v.agreement then incr agreement_errors;
     if not v.validity then incr validity_errors
   done;
+  (match (capture, obs) with
+  | Some c, Some (om, orec, _) ->
+      Obs.Capture.set c ~metrics:om ~events:(Obs.Recorder.events orec)
+  | _ -> ());
   {
     trials;
     rounds;

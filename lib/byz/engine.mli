@@ -29,12 +29,21 @@ type outcome = {
 val run :
   ?max_rounds:int ->
   ?observer:('msg -> bool) ->
+  ?sink:Obs.Sink.t ->
   ('state, 'msg) Protocol.t ->
   ('state, 'msg) Adversary.t ->
   inputs:int array ->
   t:int ->
   rng:Prng.Rng.t ->
   outcome
+(** [sink] (default {!Obs.Sink.null}) receives the run's observability
+    events. Per round the order is: {!Obs.Event.Kill} per corruption in
+    plan order ([delivered_to = 0] — corruption freezes the process
+    before delivery), {!Obs.Event.Decision} in ascending pid order, then
+    one {!Obs.Event.Round} summary ([victims] = that round's corruptions
+    sorted ascending; [partial_sends = 0] always; [ones_pending] is the
+    observer's staged-ones count, [None] without an observer). A
+    disabled sink costs one boolean load per potential event. *)
 
 type verdict = { agreement : bool; validity : bool; termination : bool }
 
@@ -54,6 +63,7 @@ type summary = {
 
 val run_trials :
   ?max_rounds:int ->
+  ?capture:Obs.Capture.t ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
@@ -61,3 +71,9 @@ val run_trials :
   ('state, 'msg) Protocol.t ->
   ('state, 'msg) Adversary.t ->
   summary
+(** [capture] attaches the observability layer: engine events feed a
+    metrics registry ([byz.trials], [byz.corruptions_used],
+    [byz.round_cap_hits], plus the per-event [byz.*] counters from
+    {!Obs.Metrics.absorb_event}) and, when the capture asks for events,
+    the raw stream in trial-then-round order. The loop is sequential, so
+    the capture is deterministic for a fixed [seed]. *)

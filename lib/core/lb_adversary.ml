@@ -39,8 +39,10 @@ let partition_senders view ~bit_of_msg =
       if bit_of_msg m = 1 then ones := i :: !ones else zeros := i :: !zeros);
   (List.rev !ones, List.rev !zeros)
 
-let band_control ?(config = default_config) ~rules ~bit_of_msg () =
+let band_control ?(config = default_config) ?(sink = Obs.Sink.null) ~rules
+    ~bit_of_msg () =
   Onesided.validate rules;
+  let emit_on = Obs.Sink.enabled sink in
   let tr = { nprev = [||]; initialized = false; last_burst = -10 } in
   let cap view kills =
     let limit =
@@ -66,9 +68,12 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
     let q = List.length recv in
     let ones, zeros = partition_senders view ~bit_of_msg in
     let o = List.length ones and z = List.length zeros in
+    (* Band position for this round's event; stays 0 on rounds that bail
+       out before the band is computed. *)
+    let ev_flip_lo = ref 0 and ev_flip_hi = ref 0 and ev_margin = ref 0 in
     (* Record deliveries and return the plan. [extra.(j)] counts killed
        senders whose message still reaches j. *)
-    let finish kills =
+    let finish ~action kills =
       (* Update per-receiver delivered counts: survivors' messages plus any
          killed sender's partial deliveries. *)
       let extra = Array.make n 0 in
@@ -80,10 +85,24 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
         kills;
       let base = q - List.length kills in
       List.iter (fun j -> tr.nprev.(j) <- base + extra.(j)) recv;
+      if emit_on then
+        Obs.Sink.emit sink
+          (Obs.Event.Band
+             {
+               round = view.Sim.Adversary.round;
+               ones = o;
+               zeros = z;
+               flip_lo = !ev_flip_lo;
+               flip_hi = !ev_flip_hi;
+               margin = !ev_margin;
+               action;
+               kills = List.length kills;
+             });
       kills
     in
-    let give_up () = finish [] in
-    if q < config.min_active || view.Sim.Adversary.budget_left = 0 then give_up ()
+    let give_up action = finish ~action [] in
+    if q < config.min_active || view.Sim.Adversary.budget_left = 0 then
+      give_up "idle"
     else begin
       let nprev_of j = tr.nprev.(j) in
       let nmax = List.fold_left (fun acc j -> Stdlib.max acc (nprev_of j)) 0 recv in
@@ -98,7 +117,7 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
          pushes the population below sqrt(n / log n), forcing the
          deterministic stage's extra switching + flooding rounds. *)
       let stall_move () =
-        if not config.stall then give_up ()
+        if not config.stall then give_up "idle"
         else begin
           let budget = view.Sim.Adversary.budget_left in
           let thresh = sqrt (float_of_int n /. log (float_of_int n)) in
@@ -115,16 +134,16 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
             && endgame_cost <= 2 * burst_size
           then begin
             tr.last_burst <- view.Sim.Adversary.round;
-            finish (cap view (kill_first endgame_cost))
+            finish ~action:"endgame" (cap view (kill_first endgame_cost))
           end
           else if
             burst_size > 0 && budget >= burst_size
             && view.Sim.Adversary.round - tr.last_burst >= 3
           then begin
             tr.last_burst <- view.Sim.Adversary.round;
-            finish (cap view (kill_first burst_size))
+            finish ~action:"burst" (cap view (kill_first burst_size))
           end
-          else give_up ()
+          else give_up "idle"
         end
       in
       (* Flip band: delivered 1-count keeping every receiver off both
@@ -136,6 +155,9 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
         Stdlib.max 1
           (int_of_float (Float.round (config.gamma *. sqrt (fq *. log fq))))
       in
+      ev_flip_lo := flip_lo;
+      ev_flip_hi := flip_hi;
+      ev_margin := margin;
       if o = 0 || z = 0 then
         (* Unanimous proposals: the band is lost (with no zeros the zero
            rule forces 1-proposals regardless of trimming); all that is
@@ -191,12 +213,12 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
                 else Sim.Adversary.kill_silent pid)
               victims
           in
-          finish (cap view kills)
+          finish ~action:"trim" (cap view kills)
         end
       end
       else if o >= flip_lo then
         (* In-band: every receiver flips; nothing to do this round. *)
-        give_up ()
+        give_up "in-band"
       else if
         config.desperate && z > 0
         (* The p/2 rescue only pays when enough budget remains to exploit
@@ -223,7 +245,7 @@ let band_control ?(config = default_config) ~rules ~bit_of_msg () =
         let kills =
           List.map (fun pid -> Sim.Adversary.kill_after_send pid ~recipients:non_s) zeros
         in
-        finish (cap view kills)
+        finish ~action:"rescue" (cap view kills)
       end
       else
         (* Deficit without an affordable rescue: delay the coming stops. *)
@@ -309,7 +331,7 @@ let estimate exec plan ~config ~rng =
   (p1, !rounds_total /. float_of_int config.samples)
 
 let force_long_execution ?(config = default_mc_config) ?(max_rounds = 10_000)
-    protocol ~inputs ~t ~rng =
+    ?(sink = Obs.Sink.null) protocol ~inputs ~t ~rng =
   let exec = Sim.Engine.start protocol ~inputs ~t ~rng in
   let est_rng = Prng.Rng.split rng in
   let pick_rng = Prng.Rng.split rng in
@@ -364,7 +386,14 @@ let force_long_execution ?(config = default_mc_config) ?(max_rounds = 10_000)
           | Some _ | None -> plan
         end
       in
-      let base_score = score_of (estimate exec [] ~config ~rng:est_rng) in
+      let base_est = estimate exec [] ~config ~rng:est_rng in
+      (if Obs.Sink.enabled sink then
+         let pr_one, expected_rounds = base_est in
+         Obs.Sink.emit sink
+           (Obs.Event.Valency_probe
+              (* The probe scores the round about to execute. *)
+              { round = Sim.Engine.round exec + 1; pr_one; expected_rounds }));
+      let base_score = score_of base_est in
       let plan = grow [] base_score config.round_cap in
       match Sim.Engine.step exec (one_shot plan) with
       | `Quiescent -> ()

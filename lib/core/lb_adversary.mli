@@ -56,6 +56,7 @@ val voting_config : config
 
 val band_control :
   ?config:config ->
+  ?sink:Obs.Sink.t ->
   rules:Onesided.rules ->
   bit_of_msg:('msg -> int) ->
   unit ->
@@ -63,7 +64,14 @@ val band_control :
 (** The band-control adversary. Stateful across the rounds of one run
     (tracks per-receiver delivered counts); it resets itself when it
     observes round 1, so reusing the value across sequential trials is
-    safe. Not safe for concurrent executions. *)
+    safe. Not safe for concurrent executions.
+
+    [sink] (default {!Obs.Sink.null}) receives one {!Obs.Event.Band}
+    event per activation, exposing the round's observed 1/0-sender
+    split, the computed flip band and margin (all zero on rounds that
+    bail out before the band is computed), the chosen [action] —
+    ["trim"], ["rescue"], ["burst"], ["endgame"], ["in-band"] or
+    ["idle"] — and the kill count spent. *)
 
 (** {2 Monte-Carlo valency adversary (small n)} *)
 
@@ -81,6 +89,7 @@ val default_mc_config : mc_config
 val force_long_execution :
   ?config:mc_config ->
   ?max_rounds:int ->
+  ?sink:Obs.Sink.t ->
   ('state, 'msg) Sim.Protocol.t ->
   inputs:int array ->
   t:int ->
@@ -90,7 +99,12 @@ val force_long_execution :
     candidate kills are scored by sampling adversary-free continuations and
     the kill set greedily maximizing the estimated expected total rounds
     (ties toward bivalence, Pr[1] near 1/2) is applied. Far more expensive
-    than [band_control]; intended for n <= ~24 (experiment E5). *)
+    than [band_control]; intended for n <= ~24 (experiment E5).
+
+    [sink] (default {!Obs.Sink.null}) receives one
+    {!Obs.Event.Valency_probe} per driven round, carrying the kill-free
+    baseline estimate (Pr[decide 1], expected total rounds — the
+    r(alpha) proxy of Section 3.2) for the round about to execute. *)
 
 val leader_killer :
   ?config:config ->

@@ -24,6 +24,7 @@ type result = {
   chunks_resumed : int;
   completed_trials : int;
   total_trials : int;
+  metrics : Obs.Metrics.t;
 }
 
 type ctx = {
@@ -37,6 +38,9 @@ type ctx = {
   mutable completed_trials : int;
   mutable total_trials : int;
   mutable last_failure : Sim.Parallel.chunk_failed option;
+  obs_events : Obs.Recorder.t;
+      (* Run-level supervision events (watchdog fires, chunk failures),
+         accumulated across experiments for [--events-out]. *)
 }
 
 let create ?deadline_s ?checkpoints ?(resume = false) () =
@@ -51,7 +55,20 @@ let create ?deadline_s ?checkpoints ?(resume = false) () =
     completed_trials = 0;
     total_trials = 0;
     last_failure = None;
+    obs_events = Obs.Recorder.create ();
   }
+
+let events ctx = Obs.Recorder.events ctx.obs_events
+
+let note_chunk_failed c (f : Sim.Parallel.chunk_failed) =
+  c.last_failure <- Some f;
+  Obs.Recorder.push c.obs_events
+    (Obs.Event.Chunk_retry
+       {
+         chunk = f.Sim.Parallel.chunk;
+         trial = f.Sim.Parallel.trial;
+         error = Printexc.to_string f.Sim.Parallel.exn;
+       })
 
 let register sup table =
   (match sup with Some c -> c.table <- Some table | None -> ());
@@ -113,7 +130,7 @@ let commit_fold sup ?checkpoint (s : 'a Sim.Parallel.supervised) =
   | _ -> ());
   match s.Sim.Parallel.failures with
   | f :: _ ->
-      (match sup with Some c -> c.last_failure <- Some f | None -> ());
+      (match sup with Some c -> note_chunk_failed c f | None -> ());
       Printexc.raise_with_backtrace f.Sim.Parallel.exn f.Sim.Parallel.backtrace
   | [] -> (
       if s.Sim.Parallel.cancelled then raise Sim.Parallel.Cancelled;
@@ -129,7 +146,7 @@ let commit sup (r : Sim.Runner.report) =
       c.total_trials <- c.total_trials + r.Sim.Runner.total_trials);
   match r.Sim.Runner.failures with
   | f :: _ ->
-      (match sup with Some c -> c.last_failure <- Some f | None -> ());
+      (match sup with Some c -> note_chunk_failed c f | None -> ());
       Printexc.raise_with_backtrace f.Sim.Parallel.exn f.Sim.Parallel.backtrace
   | [] -> (
       if r.Sim.Runner.cancelled then raise Sim.Parallel.Cancelled;
@@ -145,6 +162,20 @@ let run_experiment ctx ~id f =
   ctx.deadline_at <- Option.map (fun d -> now () +. d) ctx.deadline_s;
   let t0 = now () in
   let finish table status =
+    (* The per-experiment registry deliberately excludes wall-clock
+       quantities ([elapsed_s] stays manifest-only): every metric here is
+       a function of the experiment's deterministic progress counters, so
+       the manifest's metrics_digest is [--jobs]-independent. *)
+    let metrics = Obs.Metrics.create () in
+    Obs.Metrics.incr metrics ~by:ctx.chunks_done "supervise.chunks_done";
+    Obs.Metrics.incr metrics ~by:ctx.chunks_resumed "supervise.chunks_resumed";
+    Obs.Metrics.incr metrics ~by:ctx.completed_trials
+      "supervise.completed_trials";
+    Obs.Metrics.incr metrics ~by:ctx.total_trials "supervise.total_trials";
+    (match status with
+    | Completed -> ()
+    | Failed _ -> Obs.Metrics.incr metrics "supervise.failures"
+    | Timed_out -> Obs.Metrics.incr metrics "supervise.watchdog_fires");
     {
       id;
       table;
@@ -154,11 +185,14 @@ let run_experiment ctx ~id f =
       chunks_resumed = ctx.chunks_resumed;
       completed_trials = ctx.completed_trials;
       total_trials = ctx.total_trials;
+      metrics;
     }
   in
   match f () with
   | table -> finish (Some table) Completed
-  | exception Sim.Parallel.Cancelled -> finish ctx.table Timed_out
+  | exception Sim.Parallel.Cancelled ->
+      Obs.Recorder.push ctx.obs_events (Obs.Event.Watchdog { experiment = id });
+      finish ctx.table Timed_out
   | exception exn ->
       let backtrace =
         Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
@@ -204,6 +238,12 @@ let status_string = function
   | Completed -> "completed"
   | Failed _ -> "failed"
   | Timed_out -> "timed_out"
+
+let merged_metrics results =
+  List.fold_left
+    (fun acc r ->
+      Obs.Metrics.merge acc (Obs.Metrics.prefixed (r.id ^ ".") r.metrics))
+    (Obs.Metrics.create ()) results
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -255,12 +295,14 @@ let write_manifest ~path ~profile ~seed ~jobs ~resume ~deadline_s results =
           Printf.fprintf oc
             "    { \"id\": \"%s\", \"status\": \"%s\", \"elapsed_s\": %.3f, \
              \"chunks_done\": %d, \"chunks_resumed\": %d, \
-             \"completed_trials\": %d, \"total_trials\": %d, \"failure\": \
-             %s }%s\n"
+             \"completed_trials\": %d, \"total_trials\": %d, \
+             \"metrics_digest\": \"%s\", \"failure\": %s }%s\n"
             (json_escape r.id)
             (status_string r.status)
             r.elapsed_s r.chunks_done r.chunks_resumed r.completed_trials
-            r.total_trials failure
+            r.total_trials
+            (Obs.Metrics.digest r.metrics)
+            failure
             (if i = last then "" else ","))
         results;
       Printf.fprintf oc "  ],\n  \"failed\": %d\n}\n"

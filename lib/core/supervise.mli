@@ -47,6 +47,13 @@ type result = {
       (** Trials folded in by {!Sim.Runner}-based loops (the inline E5/E8
           folds report chunks only). *)
   total_trials : int;
+  metrics : Obs.Metrics.t;
+      (** Per-experiment supervision registry ([supervise.chunks_done],
+          [supervise.completed_trials], ...; [supervise.failures] /
+          [supervise.watchdog_fires] on a bad exit). Built only from the
+          deterministic progress counters — never wall-clock — so its
+          {!Obs.Metrics.digest} (the manifest's [metrics_digest]) is
+          [--jobs]-independent. *)
 }
 
 val create :
@@ -62,6 +69,17 @@ val run_experiment : ctx -> id:string -> (unit -> Stats.Table.t) -> result
     per-experiment counters, and converts an escaping exception or a fired
     watchdog into a [Failed] / [Timed_out] result carrying the registered
     partial table. Never raises. *)
+
+val events : ctx -> Obs.Event.t list
+(** The run-level supervision event stream, in emission order: one
+    {!Obs.Event.Watchdog} per fired deadline, one
+    {!Obs.Event.Chunk_retry} per recorded chunk failure — what
+    [--events-out] appends after the per-experiment streams. *)
+
+val merged_metrics : result list -> Obs.Metrics.t
+(** One run-level registry: each experiment's {!result.metrics} prefixed
+    with ["<id>."] and merged in list order — the [--metrics-out] payload
+    for the experiment pipeline. *)
 
 val register : ctx option -> Stats.Table.t -> Stats.Table.t
 (** Identity on the table; records it so a failed or timed-out experiment
@@ -136,4 +154,6 @@ val write_manifest :
 (** Write the machine-readable run manifest (schema [run_manifest/v1]):
     run parameters, one record per experiment — id, status
     ([completed|failed|timed_out]), elapsed seconds, chunk/trial progress,
-    failure message — and the failed-experiment count. *)
+    the experiment's observability fingerprint ([metrics_digest], the
+    {!Obs.Metrics.digest} of {!result.metrics}), failure message — and
+    the failed-experiment count. *)

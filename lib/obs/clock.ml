@@ -1,0 +1,18 @@
+let now_s () =
+  (Unix.gettimeofday
+  [@detlint.allow
+    "R2: this is the timing quarantine itself — the one justified \
+     wall-clock entry point for diagnostic spans. Rule R6 confines every \
+     use of this module to lib/obs and bench, so timings can only reach \
+     diagnostic output (attribution tables, bench JSON), never an \
+     experiment table, a metric registry, or an RNG"]) ()
+
+type span = { label : string; t0 : float; alloc0 : float }
+
+let start label = { label; t0 = now_s (); alloc0 = Gc.allocated_bytes () }
+
+let label s = s.label
+
+let elapsed_s s = now_s () -. s.t0
+
+let allocated_mb s = (Gc.allocated_bytes () -. s.alloc0) /. 1e6

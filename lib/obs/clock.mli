@@ -1,0 +1,29 @@
+(** The timing quarantine.
+
+    This module is the {e only} place outside the bench harness allowed to
+    read wall-clock time (detlint R6 enforces that syntactically; the R2
+    waiver inside the implementation is the single justified entry point).
+    Spans measure diagnostic quantities — per-experiment elapsed seconds,
+    per-chunk latency, allocation attribution — which are routed into
+    diagnostic output only (bench tables, [--attribute], stderr), never
+    into an experiment table, a metric registry, an RNG, or anything else
+    under the determinism contract. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch. Diagnostic use only. *)
+
+type span
+
+val start : string -> span
+(** Open a labelled span: records the wall clock and the calling domain's
+    allocation counter. *)
+
+val label : span -> string
+
+val elapsed_s : span -> float
+(** Wall-clock seconds since {!start}. *)
+
+val allocated_mb : span -> float
+(** Megabytes allocated on the {e calling} domain since {!start} (worker
+    domains' allocation is not attributed — good enough for the relative
+    attribution table, which runs single-domain). *)

@@ -1,0 +1,11 @@
+(** File export for [--metrics-out] / [--events-out].
+
+    Creates the destination's parent directory when missing (one level,
+    like the manifest writer) and writes the deterministic serializations
+    of {!Metrics} and {!Event} verbatim, so two runs that agree on
+    digests produce byte-identical files. *)
+
+val write_metrics : path:string -> Metrics.t -> unit
+
+val write_events : path:string -> Event.t list -> unit
+(** JSONL: one sorted-key object per line. *)

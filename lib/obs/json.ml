@@ -1,0 +1,21 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let float_str x =
+  if Float.is_nan x then "\"nan\""
+  else if Float.equal x Float.infinity then "\"inf\""
+  else if Float.equal x Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" x

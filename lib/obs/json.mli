@@ -1,0 +1,16 @@
+(** Deterministic JSON building blocks shared by {!Event} and {!Metrics}.
+
+    No parser, no AST — this library only ever {e writes} JSON, and the
+    determinism contract is on the bytes, so the helpers are string-level:
+    every float goes through the same exact-round-trip printer and every
+    string through the same escaper on every platform. *)
+
+val escape : string -> string
+(** JSON string-body escaping: quotes, backslashes, and control
+    characters. *)
+
+val float_str : float -> string
+(** Exact decimal: ["%.17g"], which round-trips every finite double.
+    [nan] and infinities render as the JSON strings ["\"nan\""],
+    ["\"inf\""], ["\"-inf\""] — metrics never produce them, but a
+    diagnostic stream must stay well-formed if one appears. *)

@@ -1,0 +1,195 @@
+type metric =
+  | Counter of { mutable count : int }
+  | Gauge of { mutable value : float }
+  | Int_hist of Stats.Histogram.t
+  | Float_stats of Stats.Welford.t
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Int_hist _ -> "int_histogram"
+  | Float_stats _ -> "float_stats"
+
+let clash name m wanted =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S is a %s, not a %s" name (kind_name m)
+       wanted)
+
+let incr ?(by = 1) t name =
+  if by < 0 then invalid_arg "Obs.Metrics.incr: negative amount";
+  match Hashtbl.find_opt t.tbl name with
+  | None -> Hashtbl.replace t.tbl name (Counter { count = by })
+  | Some (Counter c) -> c.count <- c.count + by
+  | Some m -> clash name m "counter"
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> Hashtbl.replace t.tbl name (Gauge { value = v })
+  | Some (Gauge g) -> g.value <- v
+  | Some m -> clash name m "gauge"
+
+let observe_int t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | None ->
+      let h = Stats.Histogram.create () in
+      Stats.Histogram.add h v;
+      Hashtbl.replace t.tbl name (Int_hist h)
+  | Some (Int_hist h) -> Stats.Histogram.add h v
+  | Some m -> clash name m "int_histogram"
+
+let observe t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | None ->
+      let w = Stats.Welford.create () in
+      Stats.Welford.add w v;
+      Hashtbl.replace t.tbl name (Float_stats w)
+  | Some (Float_stats w) -> Stats.Welford.add w v
+  | Some m -> clash name m "float_stats"
+
+let absorb_event t ev =
+  match ev with
+  | Event.Round
+      {
+        engine;
+        victims;
+        partial_sends;
+        delivered;
+        newly_decided = _;
+        newly_halted;
+        ones_pending;
+        _;
+      } ->
+      let e = Event.engine_label engine in
+      incr t (e ^ ".rounds");
+      incr t (e ^ ".delivered") ~by:delivered;
+      incr t (e ^ ".kills") ~by:(Array.length victims);
+      incr t (e ^ ".partial_sends") ~by:partial_sends;
+      incr t (e ^ ".halts") ~by:newly_halted;
+      (match ones_pending with
+      | Some o -> observe_int t (e ^ ".ones_pending") o
+      | None -> ())
+  | Event.Kill { engine; delivered_to; _ } ->
+      let e = Event.engine_label engine in
+      incr t (e ^ ".kill_events");
+      if delivered_to > 0 then incr t (e ^ ".partial_kill_events")
+  | Event.Decision { engine; round; _ } ->
+      let e = Event.engine_label engine in
+      incr t (e ^ ".decisions");
+      observe_int t (e ^ ".decision_round") round
+  | Event.Valency_probe { pr_one; expected_rounds; _ } ->
+      incr t "lb.valency_probes";
+      observe t "lb.valency_pr_one" pr_one;
+      observe t "lb.valency_expected_rounds" expected_rounds
+  | Event.Band { action; kills; _ } ->
+      incr t "lb.band_rounds";
+      incr t ("lb.band_action." ^ action);
+      incr t "lb.band_kills" ~by:kills
+  | Event.Checkpoint { resumed; _ } ->
+      incr t (if resumed then "runner.chunks_resumed" else "runner.chunks_stored")
+  | Event.Chunk_retry _ -> incr t "runner.chunk_failures"
+  | Event.Watchdog _ -> incr t "supervise.watchdog_fires"
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl []
+  |> List.sort String.compare
+
+let is_empty t = Hashtbl.length t.tbl = 0
+
+let counter_value t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> 0
+  | Some (Counter c) -> c.count
+  | Some m -> clash name m "counter"
+
+(* Fresh copies everywhere: merge/prefixed outputs must never alias their
+   inputs' mutable cells ([Histogram.merge]/[Welford.merge] already return
+   fresh values, including against an empty operand). *)
+let copy_metric = function
+  | Counter { count } -> Counter { count }
+  | Gauge { value } -> Gauge { value }
+  | Int_hist h -> Int_hist (Stats.Histogram.merge h (Stats.Histogram.create ()))
+  | Float_stats w -> Float_stats (Stats.Welford.merge w (Stats.Welford.create ()))
+
+let merge a b =
+  let out = create () in
+  List.iter
+    (fun name -> Hashtbl.replace out.tbl name (copy_metric (Hashtbl.find a.tbl name)))
+    (names a);
+  List.iter
+    (fun name ->
+      let mb = Hashtbl.find b.tbl name in
+      match Hashtbl.find_opt out.tbl name with
+      | None -> Hashtbl.replace out.tbl name (copy_metric mb)
+      | Some (Counter c) -> (
+          match mb with
+          | Counter c' -> c.count <- c.count + c'.count
+          | m -> clash name m "counter")
+      | Some (Gauge g) -> (
+          match mb with
+          | Gauge g' -> g.value <- g'.value
+          | m -> clash name m "gauge")
+      | Some (Int_hist h) -> (
+          match mb with
+          | Int_hist h' ->
+              Hashtbl.replace out.tbl name (Int_hist (Stats.Histogram.merge h h'))
+          | m -> clash name m "int_histogram")
+      | Some (Float_stats w) -> (
+          match mb with
+          | Float_stats w' ->
+              Hashtbl.replace out.tbl name
+                (Float_stats (Stats.Welford.merge w w'))
+          | m -> clash name m "float_stats"))
+    (names b);
+  out
+
+let prefixed prefix t =
+  let out = create () in
+  List.iter
+    (fun name ->
+      Hashtbl.replace out.tbl (prefix ^ name)
+        (copy_metric (Hashtbl.find t.tbl name)))
+    (names t);
+  out
+
+let metric_json = function
+  | Counter { count } -> Printf.sprintf "{\"count\":%d,\"kind\":\"counter\"}" count
+  | Gauge { value } ->
+      Printf.sprintf "{\"kind\":\"gauge\",\"value\":%s}" (Json.float_str value)
+  | Int_hist h ->
+      let bins =
+        Stats.Histogram.bins h
+        |> List.map (fun (v, c) -> Printf.sprintf "[%d,%d]" v c)
+        |> String.concat ","
+      in
+      Printf.sprintf "{\"bins\":[%s],\"count\":%d,\"kind\":\"int_histogram\"}"
+        bins (Stats.Histogram.count h)
+  | Float_stats w ->
+      Printf.sprintf
+        "{\"count\":%d,\"kind\":\"float_stats\",\"max\":%s,\"mean\":%s,\
+         \"min\":%s,\"total\":%s}"
+        (Stats.Welford.count w)
+        (Json.float_str (Stats.Welford.max w))
+        (Json.float_str (Stats.Welford.mean w))
+        (Json.float_str (Stats.Welford.min w))
+        (Json.float_str (Stats.Welford.total w))
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"metrics\": {\n";
+  let ns = names t in
+  let last = List.length ns - 1 in
+  List.iteri
+    (fun i name ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (Json.escape name)
+           (metric_json (Hashtbl.find t.tbl name))
+           (if i = last then "" else ",")))
+    ns;
+  Buffer.add_string b "  },\n  \"schema\": \"metrics/v1\"\n}\n";
+  Buffer.contents b
+
+let digest t = Digest.to_hex (Digest.string (to_json t))

@@ -1,0 +1,68 @@
+(** The metrics registry: named counters, gauges, int histograms, and
+    float summaries.
+
+    Determinism contract — the same one the trial runner makes for its
+    summaries: a registry is {e per-domain} state (one per chunk
+    accumulator, one per sequential loop, never shared across domains),
+    and registries are combined with {!merge} in chunk order. Because
+    every combining operation (counter addition, histogram addition,
+    Welford's exact merge) is performed in that fixed order, every metric
+    value — and hence {!to_json} and {!digest} — is byte-identical at any
+    [--jobs]. Nothing here reads a clock: wall-time lives in {!Clock} and
+    is banned from registries by construction (detlint R6).
+
+    A name has one kind forever; observing it at a different kind raises
+    [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter (created at 0). [by] defaults to 1 and may be any
+    non-negative amount. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge: last write wins; under {!merge} the right operand's
+    value wins (chunk order makes that the latest chunk). *)
+
+val observe_int : t -> string -> int -> unit
+(** Add one sample to an int histogram (backed by {!Stats.Histogram}). *)
+
+val observe : t -> string -> float -> unit
+(** Add one sample to a float summary (backed by {!Stats.Welford}). *)
+
+val absorb_event : t -> Event.t -> unit
+(** The standard event-to-metrics fold: every event bumps a small fixed
+    family of metrics (["sim.rounds"], ["lb.band_action.trim"],
+    ["runner.chunk_failures"], ...). Deterministic given the event
+    sequence. *)
+
+val names : t -> string list
+(** Registered names, ascending. *)
+
+val is_empty : t -> bool
+
+val counter_value : t -> string -> int
+(** 0 when absent; [Invalid_argument] on a non-counter. *)
+
+val merge : t -> t -> t
+(** A fresh registry combining both (inputs unchanged): counters add,
+    gauges take the right operand when it is set, histograms and float
+    summaries merge exactly. [Invalid_argument] on a kind clash. *)
+
+val prefixed : string -> t -> t
+(** A fresh deep copy with every name prefixed (e.g. ["e3." ^ name]) —
+    how per-experiment registries are folded into one run-level export. *)
+
+val to_json : t -> string
+(** Schema [metrics/v1]: names ascending, one single-line object per
+    metric, every float printed exactly; ends with a newline. Counters:
+    [{"count":c,"kind":"counter"}]; gauges: [{"kind":"gauge","value":v}];
+    int histograms: [{"bins":[[v,c],...],"count":n,"kind":"int_histogram"}]
+    with bins ascending by value; float summaries:
+    [{"count":n,"kind":"float_stats","max":_,"mean":_,"min":_,"total":_}]. *)
+
+val digest : t -> string
+(** Hex digest of {!to_json} — the per-experiment fingerprint recorded in
+    [run_manifest.json] and compared across [--jobs] values in tests. *)

@@ -1,0 +1,27 @@
+type t = { mutable rev : Event.t list; mutable count : int }
+
+let create () = { rev = []; count = 0 }
+
+let push t ev =
+  t.rev <- ev :: t.rev;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let events t = List.rev t.rev
+
+let merge a b = { rev = b.rev @ a.rev; count = a.count + b.count }
+
+let to_jsonl t =
+  match t.rev with
+  | [] -> ""
+  | _ ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun ev ->
+          Buffer.add_string b (Event.to_json ev);
+          Buffer.add_char b '\n')
+        (events t);
+      Buffer.contents b
+
+let digest t = Digest.to_hex (Digest.string (to_jsonl t))

@@ -1,0 +1,25 @@
+type t = { enabled : bool; mutable received : int; push : Event.t -> unit }
+
+(* Immutable in practice: [emit] checks [enabled] before touching
+   [received], so the shared [null] sink is never written to and is safe
+   to hold in any number of domains. *)
+let null = { enabled = false; received = 0; push = ignore }
+
+let create ?(enabled = true) push = { enabled; received = 0; push }
+
+let enabled s = s.enabled
+
+let emit s ev =
+  if s.enabled then begin
+    s.received <- s.received + 1;
+    s.push ev
+  end
+
+let received s = s.received
+
+let tee a b =
+  if not (a.enabled || b.enabled) then null
+  else
+    create (fun ev ->
+        emit a ev;
+        emit b ev)

@@ -19,8 +19,13 @@ let rec mkdir_p dir =
 
 let create ~root ~exp ~seed ~chunk_size ~n =
   let dir = Filename.concat root (Printf.sprintf "%s-%d" (sanitize exp) seed) in
+  (* [fmt] is the accumulator-schema generation: bumped whenever any
+     checkpointed acc type changes shape (fmt=2: the runner acc gained its
+     observability slice), so files from an older binary are ignored by
+     the key check instead of marshalled into the wrong layout. *)
   let key =
-    Printf.sprintf "exp=%s;seed=%d;chunk_size=%d;n=%d" exp seed chunk_size n
+    Printf.sprintf "exp=%s;seed=%d;chunk_size=%d;n=%d;fmt=2" exp seed
+      chunk_size n
   in
   { dir; key }
 

@@ -2,10 +2,13 @@
 
     Each completed chunk accumulator is marshalled to
     [<root>/<exp>-<seed>/chunk-<c>], headed by a textual key line
-    [exp=..;seed=..;chunk_size=..;n=..]. {!load} only returns a value when
-    the on-disk key matches the store's key exactly, so a checkpoint
-    written under different parameters (or a different experiment) can
-    never leak into a resumed run.
+    [exp=..;seed=..;chunk_size=..;n=..;fmt=..]. {!load} only returns a
+    value when the on-disk key matches the store's key exactly, so a
+    checkpoint written under different parameters (or a different
+    experiment) can never leak into a resumed run; [fmt] is the
+    accumulator-schema generation, bumped whenever a checkpointed acc
+    type changes shape, so files from an older binary are skipped rather
+    than deserialized into the wrong layout.
 
     Resuming is {b exact}: the fold merges chunk accumulators in chunk
     order whether they were just computed or loaded from disk, and

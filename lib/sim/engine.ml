@@ -16,6 +16,7 @@ type ('state, 'msg) exec = {
   mutable round : int;
   mutable kills_used : int;
   trace : Trace.t option;
+  sink : Obs.Sink.t;
   observer : ('msg -> bool) option;
   (* Round-scoped scratch, reused across rounds to keep honest-round
      allocation O(1). Contents are dead between steps; each buffer is
@@ -36,13 +37,21 @@ type outcome = {
   trace : Trace.t option;
 }
 
-let start ?(record_trace = false) ?observer protocol ~inputs ~t ~rng =
+let start ?(record_trace = false) ?observer ?(sink = Obs.Sink.null) protocol
+    ~inputs ~t ~rng =
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Engine.start: no processes";
   if t < 0 || t > n then invalid_arg "Engine.start: budget out of [0, n]";
   Array.iter
     (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.start: inputs must be bits")
     inputs;
+  let trace = if record_trace then Some (Trace.create ~n) else None in
+  (* The trace is a façade: it consumes the same Round events as any
+     caller-supplied sink, through a tee. With neither, the effective sink
+     is [null] and every emission site reduces to one boolean load. *)
+  let sink =
+    match trace with None -> sink | Some tr -> Obs.Sink.tee (Trace.sink tr) sink
+  in
   {
     protocol;
     n;
@@ -56,7 +65,8 @@ let start ?(record_trace = false) ?observer protocol ~inputs ~t ~rng =
     adv_rng = Prng.Rng.split rng;
     round = 0;
     kills_used = 0;
-    trace = (if record_trace then Some (Trace.create ~n) else None);
+    trace;
+    sink;
     observer;
     pending = Array.make n None;
     killed = Array.make n false;
@@ -152,6 +162,8 @@ let step e adversary =
     let delivered = ref 0 in
     let newly_decided = ref 0 in
     let newly_halted = ref 0 in
+    (* One boolean load per round decides whether any event is built. *)
+    let emit_on = Obs.Sink.enabled e.sink in
     (* Shared Phase-B bookkeeping: decision discipline, halting, counters. *)
     let commit j state' =
       let before = e.decisions.(j) in
@@ -164,9 +176,13 @@ let step e adversary =
       | Some v, None ->
           raise
             (Decision_changed (Printf.sprintf "process %d revoked decision %d" j v))
-      | None, Some _ ->
+      | None, Some v ->
           incr newly_decided;
-          e.decision_round.(j) <- round
+          e.decision_round.(j) <- round;
+          if emit_on then
+            Obs.Sink.emit e.sink
+              (Obs.Event.Decision
+                 { engine = Obs.Event.Sync; round; pid = j; value = v })
       | None, None | Some _, Some _ -> ());
       e.decisions.(j) <- after;
       if e.protocol.Protocol.halted state' && not e.halted.(j) then begin
@@ -271,39 +287,50 @@ let step e adversary =
       (fun { Adversary.victim; deliver_to } ->
         e.alive.(victim) <- false;
         incr kill_count;
-        if deliver_to <> [] then incr partial_count)
+        if deliver_to <> [] then incr partial_count;
+        if emit_on then
+          Obs.Sink.emit e.sink
+            (Obs.Event.Kill
+               {
+                 engine = Obs.Event.Sync;
+                 round;
+                 victim;
+                 delivered_to = List.length deliver_to;
+               }))
       kills;
     e.kills_used <- e.kills_used + !kill_count;
     e.round <- round;
-    (match e.trace with
-    | None -> ()
-    | Some tr ->
-        let ones =
-          match e.observer with
-          | None -> -1
-          | Some f ->
-              Array.fold_left
-                (fun acc m -> match m with Some m when f m -> acc + 1 | _ -> acc)
-                0 pending
-        in
-        let victims =
-          kills |> List.map (fun k -> k.Adversary.victim) |> List.sort Int.compare
-          |> Array.of_list
-        in
-        Trace.record tr
-          {
-            Trace.round;
-            active_before =
-              Array.fold_left
-                (fun acc m -> if Option.is_some m then acc + 1 else acc)
-                0 pending;
-            killed = victims;
-            partial_sends = !partial_count;
-            messages_delivered = !delivered;
-            newly_decided = !newly_decided;
-            newly_halted = !newly_halted;
-            ones_pending = ones;
-          });
+    if emit_on then begin
+      let ones =
+        match e.observer with
+        | None -> None
+        | Some f ->
+            Some
+              (Array.fold_left
+                 (fun acc m -> match m with Some m when f m -> acc + 1 | _ -> acc)
+                 0 pending)
+      in
+      let victims =
+        kills |> List.map (fun k -> k.Adversary.victim) |> List.sort Int.compare
+        |> Array.of_list
+      in
+      Obs.Sink.emit e.sink
+        (Obs.Event.Round
+           {
+             engine = Obs.Event.Sync;
+             round;
+             active =
+               Array.fold_left
+                 (fun acc m -> if Option.is_some m then acc + 1 else acc)
+                 0 pending;
+             victims;
+             partial_sends = !partial_count;
+             delivered = !delivered;
+             newly_decided = !newly_decided;
+             newly_halted = !newly_halted;
+             ones_pending = ones;
+           })
+    end;
     `Continue
   end
 
@@ -339,9 +366,9 @@ let outcome e =
     trace = e.trace;
   }
 
-let run ?record_trace ?observer ?(max_rounds = 10_000) protocol adversary ~inputs
-    ~t ~rng =
-  let e = start ?record_trace ?observer protocol ~inputs ~t ~rng in
+let run ?record_trace ?observer ?sink ?(max_rounds = 10_000) protocol adversary
+    ~inputs ~t ~rng =
+  let e = start ?record_trace ?observer ?sink protocol ~inputs ~t ~rng in
   run_until e adversary ~max_rounds;
   outcome e
 
@@ -356,6 +383,11 @@ let snapshot e =
     proc_rngs = Array.map Prng.Rng.copy e.proc_rngs;
     adv_rng = Prng.Rng.copy e.adv_rng;
     trace = None;
+    (* Observation does not survive the copy: the Monte-Carlo valency
+       continuations step snapshots thousands of times and must stay on
+       the zero-cost path (and must not interleave phantom events into
+       the original's stream). *)
+    sink = Obs.Sink.null;
     (* Scratch is dead between steps but must not be shared: the copy and
        the original may be stepped independently. *)
     pending = Array.make e.n None;

@@ -44,6 +44,7 @@ type outcome = {
 val start :
   ?record_trace:bool ->
   ?observer:('msg -> bool) ->
+  ?sink:Obs.Sink.t ->
   ('state, 'msg) Protocol.t ->
   inputs:int array ->
   t:int ->
@@ -52,7 +53,16 @@ val start :
 (** Create a fresh execution. [inputs] are the processes' input bits (its
     length is [n]); [t] is the adversary budget; [rng] is split into one
     private stream per process plus one for the adversary. [observer]
-    classifies broadcast messages as "1" for trace statistics. *)
+    classifies broadcast messages as "1" for trace statistics.
+
+    [sink] (default {!Obs.Sink.null}) receives the execution's event
+    stream: per round, [Decision] events as processes first decide (in
+    ascending pid order), then one [Kill] per victim (in the adversary's
+    plan order), then one [Round] summary. Events are pure observations —
+    they never affect coins, kills, or outcomes — and with a disabled
+    sink each emission site is a single boolean test, so the hot path is
+    unchanged. When [record_trace] is set the trace consumes the same
+    stream through a tee (see {!Trace.sink}). *)
 
 val step : ('state, 'msg) exec -> ('state, 'msg) Adversary.t -> [ `Continue | `Quiescent ]
 (** Execute one full round under the given adversary. [`Quiescent] means no
@@ -70,6 +80,7 @@ val outcome : ('state, 'msg) exec -> outcome
 val run :
   ?record_trace:bool ->
   ?observer:('msg -> bool) ->
+  ?sink:Obs.Sink.t ->
   ?max_rounds:int ->
   ('state, 'msg) Protocol.t ->
   ('state, 'msg) Adversary.t ->
@@ -81,7 +92,10 @@ val run :
 
 val snapshot : ('state, 'msg) exec -> ('state, 'msg) exec
 (** Deep copy: stepping the copy never affects the original. The copy
-    replays the same randomness unless {!reseed} is called. *)
+    replays the same randomness unless {!reseed} is called. The copy's
+    trace and sink are dropped (reset to none/null): continuation
+    sampling must not interleave phantom events into the original's
+    stream. *)
 
 val reseed : ('state, 'msg) exec -> Prng.Rng.t -> unit
 (** Replace every private stream with fresh splits of the given source, so

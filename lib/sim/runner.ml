@@ -27,6 +27,15 @@ let consensus_value (o : Engine.outcome) =
     o.decisions;
   !v
 
+(* Observability slice of a chunk accumulator. Plain data only (the acc is
+   checkpointed with Marshal, which rejects closures): per-trial sinks are
+   rebuilt inside [work] around these and never stored. *)
+type obs_scope = {
+  om : Obs.Metrics.t;
+  orec : Obs.Recorder.t;
+  oevents : bool;  (* also record the raw stream, not just metrics *)
+}
+
 (* Per-chunk accumulator; merged in chunk order by Parallel.fold_chunks, so
    the summary is identical for every worker count. *)
 type acc = {
@@ -38,9 +47,10 @@ type acc = {
   mutable acc_nonterm : int;
   mutable acc_errors_rev : string list list;
       (* one in-order error list per offending trial, most recent first *)
+  acc_obs : obs_scope option;
 }
 
-let acc_create () =
+let acc_create ?capture () =
   {
     acc_rounds = Stats.Welford.create ();
     acc_hist = Stats.Histogram.create ();
@@ -49,6 +59,15 @@ let acc_create () =
     acc_one = 0;
     acc_nonterm = 0;
     acc_errors_rev = [];
+    acc_obs =
+      Option.map
+        (fun c ->
+          {
+            om = Obs.Metrics.create ();
+            orec = Obs.Recorder.create ();
+            oevents = Obs.Capture.record_events c;
+          })
+        capture;
   }
 
 let acc_merge a b =
@@ -60,7 +79,24 @@ let acc_merge a b =
     acc_one = a.acc_one + b.acc_one;
     acc_nonterm = a.acc_nonterm + b.acc_nonterm;
     acc_errors_rev = b.acc_errors_rev @ a.acc_errors_rev;
+    acc_obs =
+      (match (a.acc_obs, b.acc_obs) with
+      | Some x, Some y ->
+          Some
+            {
+              om = Obs.Metrics.merge x.om y.om;
+              orec = Obs.Recorder.merge x.orec y.orec;
+              oevents = x.oevents;
+            }
+      | _, _ -> None);
   }
+
+(* Feed one event into a chunk's observability slice. *)
+let obs_note o ev =
+  Obs.Metrics.absorb_event o.om ev;
+  if o.oevents then Obs.Recorder.push o.orec ev
+
+let obs_sink o = Obs.Sink.create (obs_note o)
 
 type report = {
   partial : summary option;
@@ -89,7 +125,8 @@ let summary_of_acc acc =
   }
 
 let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
-    ?cancel ?checkpoint ~trials ~seed ~gen_inputs ~t protocol make_adversary =
+    ?cancel ?checkpoint ?capture ~trials ~seed ~gen_inputs ~t protocol
+    make_adversary =
   if trials <= 0 then invalid_arg "Runner.run_trials: trials must be positive";
   let work index acc =
     let trial = index + 1 in
@@ -101,7 +138,23 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     (* A fresh adversary per trial: adversaries may close over mutable
        trackers, which must not be shared across concurrent trials. *)
     let adversary = make_adversary () in
-    let o = Engine.run ~max_rounds protocol adversary ~inputs ~t ~rng in
+    let o =
+      match acc.acc_obs with
+      | None -> Engine.run ~max_rounds protocol adversary ~inputs ~t ~rng
+      | Some ob ->
+          (* The sink closure is rebuilt per trial over the chunk's plain
+             data slice, so the checkpointed acc stays Marshal-safe. *)
+          Engine.run ~max_rounds ~sink:(obs_sink ob) protocol adversary ~inputs
+            ~t ~rng
+    in
+    (match acc.acc_obs with
+    | None -> ()
+    | Some ob ->
+        Obs.Metrics.incr ob.om "runner.trials";
+        (match o.Engine.rounds_to_decide with
+        | Some r -> Obs.Metrics.observe_int ob.om "runner.rounds_to_decide" r
+        | None -> Obs.Metrics.incr ob.om "runner.non_terminating");
+        Obs.Metrics.observe_int ob.om "runner.kills_per_trial" o.Engine.kills_used);
     let verdict = Checker.check ?strict ~inputs o in
     if not (verdict.Checker.agreement && verdict.Checker.validity) then
       acc.acc_errors_rev <-
@@ -118,17 +171,46 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     | Some _ -> acc.acc_one <- acc.acc_one + 1
     | None -> ()
   in
+  (* Checkpoint traffic is itself observable. The store event is folded
+     into the acc *before* marshalling, so a resumed chunk replays it
+     identically and resumed streams stay byte-identical; the resume event
+     lands after load, marking this run's consumption of the file. *)
+  let note_checkpoint acc ~chunk ~resumed =
+    match acc.acc_obs with
+    | None -> ()
+    | Some ob -> obs_note ob (Obs.Event.Checkpoint { chunk; resumed })
+  in
   let saved, persist =
     match checkpoint with
     | None -> (None, None)
     | Some ck ->
-        ( Some (fun c -> Checkpoint.load ck ~chunk:c),
-          Some (fun c acc -> Checkpoint.store ck ~chunk:c acc) )
+        ( Some
+            (fun c ->
+              match Checkpoint.load ck ~chunk:c with
+              | None -> None
+              | Some acc ->
+                  note_checkpoint acc ~chunk:c ~resumed:true;
+                  Some acc),
+          Some
+            (fun c acc ->
+              note_checkpoint acc ~chunk:c ~resumed:false;
+              Checkpoint.store ck ~chunk:c acc) )
   in
   let s =
     Parallel.fold_chunks_supervised ?jobs ?chunk_size ?cancel ?saved ?persist
-      ~n:trials ~create:acc_create ~work ~merge:acc_merge ()
+      ~n:trials
+      ~create:(fun () -> acc_create ?capture ())
+      ~work ~merge:acc_merge ()
   in
+  (match capture with
+  | None -> ()
+  | Some c ->
+      let metrics, events =
+        match s.Parallel.value with
+        | Some { acc_obs = Some ob; _ } -> (ob.om, Obs.Recorder.events ob.orec)
+        | Some { acc_obs = None; _ } | None -> (Obs.Metrics.create (), [])
+      in
+      Obs.Capture.set c ~metrics ~events);
   let complete =
     s.Parallel.chunks_done = s.Parallel.chunks_total
     && s.Parallel.failures = []
@@ -149,11 +231,11 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     cancelled = s.Parallel.cancelled;
   }
 
-let run_trials ?max_rounds ?strict ?jobs ~trials ~seed ~gen_inputs ~t protocol
-    make_adversary =
+let run_trials ?max_rounds ?strict ?jobs ?capture ~trials ~seed ~gen_inputs ~t
+    protocol make_adversary =
   let r =
-    run_trials_supervised ?max_rounds ?strict ?jobs ~trials ~seed ~gen_inputs
-      ~t protocol make_adversary
+    run_trials_supervised ?max_rounds ?strict ?jobs ?capture ~trials ~seed
+      ~gen_inputs ~t protocol make_adversary
   in
   match (r.failures, r.partial) with
   | f :: _, _ ->

@@ -54,6 +54,7 @@ val run_trials_supervised :
   ?chunk_size:int ->
   ?cancel:(unit -> bool) ->
   ?checkpoint:Checkpoint.t ->
+  ?capture:Obs.Capture.t ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
@@ -69,12 +70,25 @@ val run_trials_supervised :
     without recomputation; because chunk partials merge in chunk order and
     [Marshal] round-trips the accumulators exactly, a resumed run's
     summary is byte-identical to an uninterrupted one. A fully successful
-    run clears its checkpoint store. *)
+    run clears its checkpoint store.
+
+    [capture] attaches the observability layer: every trial's engine
+    events are folded into per-chunk {!Obs.Metrics} (and, when the
+    capture asks for events, an {!Obs.Recorder}), merged in chunk order
+    and written into the capture once the fold completes — so metric
+    values and the event stream are byte-identical at any [jobs], the
+    same contract as the summary itself. Standard runner metrics
+    ([runner.trials], [runner.rounds_to_decide], [runner.kills_per_trial],
+    [runner.non_terminating]) accumulate alongside the per-event ones;
+    checkpoint stores/resumes surface as {!Obs.Event.Checkpoint} events.
+    No capture (the default) keeps trials on the engine's zero-cost
+    disabled-sink path. *)
 
 val run_trials :
   ?max_rounds:int ->
   ?strict:bool ->
   ?jobs:int ->
+  ?capture:Obs.Capture.t ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->

@@ -6,7 +6,7 @@ type round_record = {
   messages_delivered : int;
   newly_decided : int;
   newly_halted : int;
-  ones_pending : int;
+  ones_pending : int option;
 }
 
 type t = { n : int; mutable rev_records : round_record list; mutable count : int }
@@ -16,6 +16,38 @@ let create ~n = { n; rev_records = []; count = 0 }
 let record t r =
   t.rev_records <- r :: t.rev_records;
   t.count <- t.count + 1
+
+(* The façade over the unified event stream: decode the engine's Round
+   events back into the record shape this module has always stored. Other
+   events (kills, decisions) carry per-item detail the trace never held;
+   they pass through untouched for any teed consumer. *)
+let sink t =
+  Obs.Sink.create (fun ev ->
+      match ev with
+      | Obs.Event.Round
+          {
+            engine = Obs.Event.Sync;
+            round;
+            active;
+            victims;
+            partial_sends;
+            delivered;
+            newly_decided;
+            newly_halted;
+            ones_pending;
+          } ->
+          record t
+            {
+              round;
+              active_before = active;
+              killed = victims;
+              partial_sends;
+              messages_delivered = delivered;
+              newly_decided;
+              newly_halted;
+              ones_pending;
+            }
+      | _ -> ())
 
 let records t = List.rev t.rev_records
 
@@ -34,9 +66,10 @@ let to_csv t =
     "round,active,kills,partial_sends,delivered,newly_decided,newly_halted,ones_pending"
   in
   let line r =
-    Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%d" r.round r.active_before
+    Printf.sprintf "%d,%d,%d,%d,%d,%d,%d,%s" r.round r.active_before
       (Array.length r.killed) r.partial_sends r.messages_delivered
-      r.newly_decided r.newly_halted r.ones_pending
+      r.newly_decided r.newly_halted
+      (match r.ones_pending with None -> "" | Some o -> string_of_int o)
   in
   String.concat "\n" (header :: List.map line (records t))
 
@@ -46,6 +79,6 @@ let render t =
       "r%-4d active=%-5d kills=%-3d partial=%-2d delivered=%-7d decided+=%-3d halted+=%-3d ones=%s"
       r.round r.active_before (Array.length r.killed) r.partial_sends
       r.messages_delivered r.newly_decided r.newly_halted
-      (if r.ones_pending < 0 then "-" else string_of_int r.ones_pending)
+      (match r.ones_pending with None -> "-" | Some o -> string_of_int o)
   in
   String.concat "\n" (List.map line (records t))

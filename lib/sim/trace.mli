@@ -1,5 +1,11 @@
 (** Execution traces: one record per executed round, for debugging,
-    property tests, and the examples' narrative output. *)
+    property tests, and the examples' narrative output.
+
+    Since the observability layer landed, the trace is a {e façade} over
+    the unified event stream: the engine emits {!Obs.Event.Round} events
+    through its sink, and {!sink} decodes them back into
+    {!type:round_record}s. The storage, accessors, and renderings below
+    are unchanged, so existing consumers need no migration. *)
 
 type round_record = {
   round : int;
@@ -9,9 +15,10 @@ type round_record = {
   messages_delivered : int;  (** Total (sender, receiver) deliveries. *)
   newly_decided : int;
   newly_halted : int;
-  ones_pending : int;
+  ones_pending : int option;
       (** Broadcast messages classified as "1" by the protocol's observer
-          (see {!val:create}); -1 when no observer was supplied. *)
+          (see {!val:Engine.start}); [None] when no observer was
+          supplied. *)
 }
 
 type t
@@ -19,6 +26,12 @@ type t
 val create : n:int -> t
 
 val record : t -> round_record -> unit
+
+val sink : t -> Obs.Sink.t
+(** An always-enabled sink that decodes synchronous-engine
+    {!Obs.Event.Round} events into {!record} calls and ignores every
+    other event. The engine tees this with any caller-supplied sink when
+    [record_trace] is set. *)
 
 val records : t -> round_record list
 (** In execution order. *)
@@ -33,9 +46,13 @@ val final_active : t -> int option
 (** Active count entering the last recorded round. *)
 
 val render : t -> string
-(** Compact one-line-per-round rendering. *)
+(** Compact one-line-per-round rendering; [ones_pending = None] prints
+    as ["-"]. *)
 
 val to_csv : t -> string
-(** One CSV row per round (columns: round, active, kills, partial_sends,
-    delivered, newly_decided, newly_halted, ones_pending) for external
-    plotting. *)
+(** CSV with a header row, then one row per round. Column order (fixed,
+    part of the schema):
+    [round,active,kills,partial_sends,delivered,newly_decided,newly_halted,ones_pending]
+    where [active] is {!round_record.active_before}, [kills] is the
+    victim count, [delivered] is {!round_record.messages_delivered}, and
+    the [ones_pending] cell is empty when no observer was supplied. *)

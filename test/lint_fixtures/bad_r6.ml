@@ -1,0 +1,7 @@
+(* detlint fixture: direct Obs.Clock use outside lib/obs and bench —
+   both the span start and the elapsed read must trigger R6. *)
+
+let time_protocol run =
+  let span = Obs.Clock.start "protocol" in
+  run ();
+  Obs.Clock.elapsed_s span

@@ -1,0 +1,7 @@
+(* detlint fixture: the identical Obs.Clock span is clean when it lives
+   inside the timing quarantine (linted under a bench/ relpath). *)
+
+let time_protocol run =
+  let span = Obs.Clock.start "protocol" in
+  run ();
+  Obs.Clock.elapsed_s span

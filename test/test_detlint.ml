@@ -1,4 +1,4 @@
-(* Tests for detlint itself (tools/detlint): every rule R1-R5 must fire on
+(* Tests for detlint itself (tools/detlint): every rule R1-R6 must fire on
    its known-bad fixture in test/lint_fixtures/, stay silent on the
    known-good ones, and the waiver machinery must suppress exactly the
    justified findings.  The fixtures are plain .ml files that are never
@@ -66,6 +66,23 @@ let test_r5_scoped () =
   check_strings "clean outside scope" [] (rules fs);
   check_strings "tuple fixture clean outside scope" []
     (rules (lint "bad_r5_tuple.ml"))
+
+let test_r6_fires () =
+  (* R6 fires everywhere except the quarantine, so the default
+     lint_fixtures/ relpath is already in scope. *)
+  let fs = lint "bad_r6.ml" in
+  check_strings "R6 and only R6" [ "R6" ] (rules (violations fs));
+  Alcotest.(check int) "span start and elapsed read" 2 (List.length fs)
+
+let test_r6_scoped () =
+  (* The identical spans are the quarantine's own business inside lib/obs
+     and bench. *)
+  check_strings "clean under bench/" []
+    (rules (lint ~relpath:"bench/good_r6.ml" "good_r6.ml"));
+  check_strings "clean under lib/obs/" []
+    (rules (lint ~relpath:"lib/obs/good_r6.ml" "good_r6.ml"));
+  check_strings "the same spans elsewhere are R6" [ "R6" ]
+    (rules (violations (lint "good_r6.ml")))
 
 let test_good_r5_int () =
   (* Monomorphic spellings are clean even inside the scope. *)
@@ -191,6 +208,8 @@ let suites =
         tc "R5 fires on tuple-literal comparisons" test_r5_tuple_fires;
         tc "R5 covers lib/coinflip" test_r5_extended_scope;
         tc "R5 is scoped to the four hot-path libraries" test_r5_scoped;
+        tc "R6 fires on Obs.Clock outside the quarantine" test_r6_fires;
+        tc "R6 exempts lib/obs and bench" test_r6_scoped;
       ] );
     ( "detlint.clean",
       [

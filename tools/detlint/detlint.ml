@@ -26,6 +26,12 @@
        where an operand is syntactically float-valued, and any comparison
        operator applied to a tuple literal (spell the lexicographic
        comparison out per component).
+   R6  no direct [Obs.Clock.*] use outside [lib/obs] and [bench]: the
+       diagnostic timing quarantine. [Obs.Clock] is the one sanctioned
+       wall-clock entry point (its own R2 waiver documents why); keeping
+       every caller inside the observability library and the bench harness
+       is what guarantees timings can only reach diagnostic output, never
+       an experiment table, a metrics registry, or an RNG.
 
    Rules are heuristic and syntactic by design: they run on the parse tree,
    with no type information, so they can be wired into the build with zero
@@ -53,7 +59,7 @@ type finding = {
   justification : string option;
 }
 
-let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
 
 let rule_doc = function
   | "R1" -> "global Random outside lib/prng"
@@ -63,6 +69,9 @@ let rule_doc = function
   | "R5" ->
       "polymorphic compare/= at float type/tuple comparison in lib/stats, \
        lib/sim, lib/core or lib/coinflip"
+  | "R6" ->
+      "direct Obs.Clock use outside lib/obs and bench (the diagnostic \
+       timing quarantine)"
   | "W0" -> "malformed detlint.allow waiver"
   | "P0" -> "parse error"
   | _ -> "unknown rule"
@@ -178,6 +187,13 @@ let in_scope_r5 relpath =
   || has_prefix ~prefix:"lib/core/" relpath
   || has_prefix ~prefix:"lib/coinflip/" relpath
 
+(* The timing quarantine: Obs.Clock may only be touched from inside the
+   observability library itself and the bench harness. *)
+let in_scope_r6 relpath =
+  not
+    (has_prefix ~prefix:"lib/obs/" relpath
+    || has_prefix ~prefix:"bench/" relpath)
+
 (* ------------------------------------------------------------------ *)
 (* Waiver attribute parsing                                            *)
 (* ------------------------------------------------------------------ *)
@@ -216,7 +232,7 @@ let parse_waiver (attr : attribute) =
         match (List.mem rule rule_ids, rest) with
         | false, _ ->
             Malformed
-              (Printf.sprintf "unknown rule %S (expected one of R1..R5)" rule)
+              (Printf.sprintf "unknown rule %S (expected one of R1..R6)" rule)
         | true, "" ->
             Malformed
               (Printf.sprintf
@@ -408,6 +424,17 @@ class linter ~relpath ~mutable_globals ~(emit : finding -> unit) =
           ~hint:
             "pipe the result into List.sort/Array.sort, or waive with \
              [@detlint.allow \"R3: why the consumer is order-insensitive\"]";
+      if
+        (has_prefix ~prefix:"Obs.Clock." p || p = "Obs.Clock")
+        && in_scope_r6 relpath
+      then
+        self#report ~rule:"R6" ~loc
+          ~message:
+            (Printf.sprintf "use of %s outside the timing quarantine" p)
+          ~hint:
+            "Obs.Clock (the one sanctioned wall-clock entry point) may only \
+             be called from lib/obs and bench; emit an Obs.Event and derive \
+             timings in the diagnostic consumer instead";
       if p = "compare" && in_scope_r5 relpath then
         self#report ~rule:"R5" ~loc
           ~message:"polymorphic compare in a determinism-critical library"
