@@ -36,6 +36,27 @@ let jobs_arg =
            recommended domain count; must be >= 1). Results are \
            bit-identical for every value.")
 
+let chunk_size_arg =
+  Arg.(
+    value
+    & opt (some (positive_int "CHUNK")) None
+    & info [ "chunk-size" ] ~docv:"CHUNK"
+        ~doc:
+          "Trials per work chunk (must be >= 1; default: derived from the \
+           trial count and JOBS). Results are bit-identical for every \
+           value.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("concrete", `Concrete); ("cohort", `Cohort) ]) `Concrete
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: concrete (per-process arrays) or cohort \
+           (population-compressed equivalence classes; byte-identical \
+           results, per-round cost scales with distinct states instead of \
+           N — use for N >= 10^5).")
+
 let t_arg =
   Arg.(
     value
@@ -182,22 +203,41 @@ let print_summary name (s : Sim.Runner.summary) =
     (Stats.Histogram.render ~width:30 s.Sim.Runner.rounds_hist)
 
 let run_cmd =
-  let run n t trials seed jobs rules adv_name proto_name inputs metrics_out
-      events_out =
+  let run n t trials seed jobs chunk_size engine rules adv_name proto_name
+      inputs metrics_out events_out =
     let t = Option.value t ~default:(n - 1) in
     let gen = gen_of_inputs inputs ~n in
     let capture = capture_for ~metrics_out ~events_out in
     (match proto_name with
     | "synran" | "leader" ->
         let make_adversary () = adversary_of_name adv_name ~rules ~n ~t ~seed in
+        (* Under the cohort engine the band adversaries run their native
+           compressed port; anything else is wrapped as Cohort.Concrete by
+           the runner (exact, but with view-reconstruction overhead). *)
+        let cohort_adversary =
+          match (engine, adv_name) with
+          | `Cohort, "band" ->
+              Some
+                (fun () ->
+                  Core.Lb_adversary.band_control_cohort ~rules
+                    ~bit_of_msg:Core.Synran.bit_of_msg ())
+          | `Cohort, "voting" ->
+              Some
+                (fun () ->
+                  Core.Lb_adversary.band_control_cohort
+                    ~config:Core.Lb_adversary.voting_config ~rules
+                    ~bit_of_msg:Core.Synran.bit_of_msg ())
+          | _ -> None
+        in
         let coin =
           if proto_name = "leader" then Core.Synran.Leader_priority
           else Core.Synran.Local_flip
         in
         let protocol = Core.Synran.protocol ~rules ~coin n in
         let s =
-          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ?capture ~trials ~seed
-            ~gen_inputs:gen ~t protocol make_adversary
+          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ?chunk_size ?capture
+            ~engine ?cohort_adversary ~trials ~seed ~gen_inputs:gen ~t protocol
+            make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
@@ -214,8 +254,8 @@ let run_cmd =
         let make_adversary () = generic_adversary_of_name adv_name ~n ~t ~seed in
         let protocol = Baselines.Floodset.protocol ~rounds:(t + 1) () in
         let s =
-          Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ?capture ~trials
-            ~seed ~gen_inputs:gen ~t protocol make_adversary
+          Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ?chunk_size ?capture
+            ~engine ~trials ~seed ~gen_inputs:gen ~t protocol make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
@@ -225,9 +265,9 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ jobs_arg $ rules_arg
-      $ adversary_arg $ protocol_arg $ inputs_arg $ metrics_out_arg
-      $ events_out_arg)
+      const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ jobs_arg
+      $ chunk_size_arg $ engine_arg $ rules_arg $ adversary_arg $ protocol_arg
+      $ inputs_arg $ metrics_out_arg $ events_out_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run many trials of a protocol under an adversary")
     term

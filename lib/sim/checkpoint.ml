@@ -17,8 +17,28 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.file_exists dir -> ()
   end
 
+(* Stale atomic-write temporaries: a SIGKILL between [open_out_bin] and
+   [Sys.rename] in [store] leaves a [chunk-N.tmp] behind. They are inert
+   (loads go through the renamed file only) but accumulate across crashed
+   runs, so sweep them whenever a store is (re-)opened over an existing
+   directory. *)
+let sweep_tmp dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".tmp" then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
 let create ~root ~exp ~seed ~chunk_size ~n =
-  let dir = Filename.concat root (Printf.sprintf "%s-%d" (sanitize exp) seed) in
+  (* Sanitization is lossy ("e1/a" and "e1 a" both become "e1_a"), so the
+     directory name carries a short hash of the raw id to keep distinct
+     experiments from sharing — and clobbering — one store. *)
+  let tag = String.sub (Digest.to_hex (Digest.string exp)) 0 8 in
+  let dir =
+    Filename.concat root (Printf.sprintf "%s-%s-%d" (sanitize exp) tag seed)
+  in
+  sweep_tmp dir;
   (* [fmt] is the accumulator-schema generation: bumped whenever any
      checkpointed acc type changes shape (fmt=2: the runner acc gained its
      observability slice), so files from an older binary are ignored by

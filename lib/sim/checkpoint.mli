@@ -1,7 +1,7 @@
 (** Chunk-level checkpoint store for {!Parallel.fold_chunks_supervised}.
 
     Each completed chunk accumulator is marshalled to
-    [<root>/<exp>-<seed>/chunk-<c>], headed by a textual key line
+    [<root>/<exp>-<hash>-<seed>/chunk-<c>], headed by a textual key line
     [exp=..;seed=..;chunk_size=..;n=..;fmt=..]. {!load} only returns a
     value when the on-disk key matches the store's key exactly, so a
     checkpoint written under different parameters (or a different
@@ -29,8 +29,12 @@ type t
 val create :
   root:string -> exp:string -> seed:int -> chunk_size:int -> n:int -> t
 (** [create ~root ~exp ~seed ~chunk_size ~n] names the store
-    [<root>/<sanitized exp>-<seed>/] (no filesystem access yet; the
-    directory is created on first {!store}). *)
+    [<root>/<sanitized exp>-<hash>-<seed>/], where [<hash>] is a short
+    digest of the {e raw} experiment id — sanitization is lossy (["e1/a"]
+    and ["e1 a"] sanitize identically) and the hash keeps such ids from
+    sharing a store. If the directory already exists (a resume), stale
+    [chunk-*.tmp] files left by a killed {!store} are swept; otherwise the
+    directory is created on first {!store}. *)
 
 val dir : t -> string
 (** The store's directory (may not exist yet). *)

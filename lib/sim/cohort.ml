@@ -1,0 +1,543 @@
+(* The population-compressed engine: processes are grouped into equivalence
+   classes of identical state, rounds advance whole classes at once, and
+   per-round work scales with the number of distinct states plus the
+   processes the adversary individuates — not with n. Every observable
+   (outcomes, traces, events, RNG consumption) is byte-identical to
+   [Engine]; the cohort.differential suite pins this. *)
+
+type 'state cls = {
+  cls_state : 'state;
+  cls_members : int array;  (* ascending *)
+}
+
+type ('state, 'msg) exec = {
+  protocol : ('state, 'msg) Protocol.t;
+  n : int;
+  t : int;
+  mutable classes : 'state cls list;  (* sorted by least member *)
+  (* Per-process scalars: O(n) memory, but touched only on decision, halt
+     and kill — never scanned on the per-round hot path. *)
+  alive : bool array;
+  halted : bool array;
+  decisions : int option array;
+  decision_round : int array;  (* -1 = undecided *)
+  proc_rngs : Prng.Rng.t array;
+  mutable adv_rng : Prng.Rng.t;
+  mutable round : int;
+  mutable kills_used : int;
+  mutable active : int;  (* alive and not halted *)
+  trace : Trace.t option;
+  sink : Obs.Sink.t;
+  observer : ('msg -> bool) option;
+}
+
+type ('state, 'msg) cohort_class = {
+  cc_state : 'state;
+  cc_size : int;
+  cc_members : int array;  (* ascending; read-only *)
+  cc_msg : int -> 'msg;
+}
+
+type ('state, 'msg) cview = {
+  cv_round : int;
+  cv_n : int;
+  cv_t : int;
+  cv_budget_left : int;
+  cv_classes : ('state, 'msg) cohort_class list;  (* sorted by least member *)
+  cv_active : int -> bool;
+  cv_decision : int -> int option;
+}
+
+type ('state, 'msg) adversary =
+  | Concrete of ('state, 'msg) Adversary.t
+  | Aware of {
+      aname : string;
+      aplan : ('state, 'msg) cview -> Prng.Rng.t -> Adversary.kill list;
+    }
+
+let adversary_name = function
+  | Concrete a -> a.Adversary.name
+  | Aware { aname; _ } -> aname
+
+(* Merge candidate (state, members) groups into classes: groups with equal
+   state coalesce, members stay ascending, classes sort by least member.
+   The Hashtbl is bucket storage only — its iteration order never escapes
+   unsorted. *)
+let merge_classes ~equal ~hash groups =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (st, ms) ->
+      if Array.length ms > 0 then begin
+        let h = hash st in
+        let bucket =
+          match Hashtbl.find_opt tbl h with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add tbl h b;
+              b
+        in
+        match List.find_opt (fun (st', _) -> equal st' st) !bucket with
+        | Some (_, parts) -> parts := ms :: !parts
+        | None -> bucket := (st, ref [ ms ]) :: !bucket
+      end)
+    groups;
+  Hashtbl.fold
+    (fun _h bucket acc ->
+      List.fold_left
+        (fun acc (st, parts) ->
+          let members = Array.concat !parts in
+          (* Each part is ascending and parts are pairwise disjoint, so
+             when the concatenation is already ascending — the common
+             single-part case of a class passing through a round unsplit —
+             sorting would be the identity and we skip it. *)
+          let len = Array.length members in
+          let rec ascending i =
+            i >= len || (members.(i - 1) < members.(i) && ascending (i + 1))
+          in
+          if not (ascending 1) then Array.sort Int.compare members;
+          { cls_state = st; cls_members = members } :: acc)
+        acc !bucket)
+    tbl []
+  |> List.sort (fun a b -> Int.compare a.cls_members.(0) b.cls_members.(0))
+
+let start ?(record_trace = false) ?observer ?(sink = Obs.Sink.null) protocol
+    ~inputs ~t ~rng =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Cohort.start: no processes";
+  if t < 0 || t > n then invalid_arg "Cohort.start: budget out of [0, n]";
+  Array.iter
+    (fun b -> if b <> 0 && b <> 1 then invalid_arg "Cohort.start: inputs must be bits")
+    inputs;
+  if not (Protocol.cohort_capable protocol) then
+    invalid_arg
+      (Printf.sprintf "Cohort.start: protocol %s declares no cohort ops"
+         protocol.Protocol.name);
+  let trace = if record_trace then Some (Trace.create ~n) else None in
+  let sink =
+    match trace with None -> sink | Some tr -> Obs.Sink.tee (Trace.sink tr) sink
+  in
+  (* [Engine.start] builds its exec as one record expression, which OCaml
+     evaluates right-to-left: the adversary stream splits off the master
+     rng BEFORE the per-process streams do. Replicating that order is part
+     of the byte-identity contract. *)
+  let adv_rng = Prng.Rng.split rng in
+  let proc_rngs = Prng.Rng.split_n rng n in
+  let classes =
+    match protocol.Protocol.aggregate with
+    | Some (Protocol.Aggregate { cohort = Some c; _ }) ->
+        let groups =
+          Array.to_list
+            (Array.mapi
+               (fun pid input ->
+                 (protocol.Protocol.init ~n ~pid ~input, [| pid |]))
+               inputs)
+        in
+        merge_classes ~equal:c.Protocol.c_equal ~hash:c.Protocol.c_hash groups
+    | Some (Protocol.Aggregate { cohort = None; _ }) | None -> assert false
+  in
+  {
+    protocol;
+    n;
+    t;
+    classes;
+    alive = Array.make n true;
+    halted = Array.make n false;
+    decisions = Array.make n None;
+    decision_round = Array.make n (-1);
+    proc_rngs;
+    adv_rng;
+    round = 0;
+    kills_used = 0;
+    active = n;
+    trace;
+    sink;
+    observer;
+  }
+
+let budget_left e = e.t - e.kills_used
+
+let active_at e i = e.alive.(i) && not e.halted.(i)
+
+(* Binary search for [pid] in an ascending member array. *)
+let mem_index ms pid =
+  let lo = ref 0 and hi = ref (Array.length ms - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = ms.(mid) in
+    if v = pid then found := mid
+    else if v < pid then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let step e adversary =
+  if e.active = 0 then `Quiescent
+  else
+    match e.protocol.Protocol.aggregate with
+    | Some (Protocol.Aggregate ({ cohort = Some co; _ } as a)) ->
+        let round = e.round + 1 in
+        let active_before = e.active in
+        (* Phase A: split each class by this round's coin draws. Per-member
+           draw order within a class is ascending, and each process's
+           private stream sees exactly the draws the scalar phase_a makes,
+           so cross-engine RNG consumption is identical. *)
+        let subs =
+          e.classes
+          |> List.concat_map (fun cl ->
+                 co.Protocol.c_phase_a cl.cls_state ~members:cl.cls_members
+                   ~rng_of:(fun pid -> e.proc_rngs.(pid)))
+          |> Array.of_list
+        in
+        let nsubs = Array.length subs in
+        (* Locate an active pid's (subclass, index); O(#subs * log n). *)
+        let find_member pid =
+          let rec go si =
+            if si >= nsubs then None
+            else
+              let k = mem_index subs.(si).Protocol.sub_members pid in
+              if k >= 0 then Some (si, k) else go (si + 1)
+          in
+          go 0
+        in
+        let budget = budget_left e in
+        let kills =
+          match adversary with
+          | Aware { aplan; _ } ->
+              let cv_classes =
+                Array.to_list subs
+                |> List.map (fun s ->
+                       {
+                         cc_state = s.Protocol.sub_state;
+                         cc_size = Array.length s.Protocol.sub_members;
+                         cc_members = s.Protocol.sub_members;
+                         cc_msg = (fun k -> co.Protocol.c_msg s k);
+                       })
+                |> List.sort (fun c1 c2 ->
+                       Int.compare c1.cc_members.(0) c2.cc_members.(0))
+              in
+              aplan
+                {
+                  cv_round = round;
+                  cv_n = e.n;
+                  cv_t = e.t;
+                  cv_budget_left = budget;
+                  cv_classes;
+                  cv_active = (fun i -> active_at e i);
+                  cv_decision = (fun i -> e.decisions.(i));
+                }
+                e.adv_rng
+          | Concrete adv ->
+              (* Compatibility view for concrete adversaries: exact but
+                 per-pid accessors cost O(#subs * log n) each, so this path
+                 is for differentials and small n, not the large-n runs. *)
+              let view =
+                {
+                  Adversary.round;
+                  n = e.n;
+                  t = e.t;
+                  budget_left = budget;
+                  alive = (fun i -> e.alive.(i));
+                  active = (fun i -> active_at e i);
+                  state =
+                    (fun i ->
+                      match find_member i with
+                      | Some (si, _) -> subs.(si).Protocol.sub_state
+                      | None ->
+                          invalid_arg
+                            "Cohort: state of an inactive process is not retained");
+                  pending =
+                    (fun i ->
+                      match find_member i with
+                      | Some (si, k) -> Some (co.Protocol.c_msg subs.(si) k)
+                      | None -> None);
+                  decision = (fun i -> e.decisions.(i));
+                }
+              in
+              adv.Adversary.plan view e.adv_rng
+        in
+        (* Same checks, messages and exceptions as [Engine.validate_kills],
+           with a kill-sized table instead of an O(n) seen array. *)
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun { Adversary.victim; deliver_to } ->
+            if victim < 0 || victim >= e.n then
+              raise
+                (Engine.Invalid_kill (Printf.sprintf "victim %d out of range" victim));
+            if not (active_at e victim) then
+              raise
+                (Engine.Invalid_kill (Printf.sprintf "victim %d is not active" victim));
+            if Hashtbl.mem seen victim then
+              raise
+                (Engine.Invalid_kill (Printf.sprintf "victim %d named twice" victim));
+            Hashtbl.add seen victim ();
+            List.iter
+              (fun r ->
+                if r < 0 || r >= e.n then
+                  raise
+                    (Engine.Invalid_kill
+                       (Printf.sprintf "recipient %d out of range" r)))
+              deliver_to)
+          kills;
+        let nkills = List.length kills in
+        if nkills > budget then
+          raise
+            (Engine.Budget_exceeded
+               (Printf.sprintf "round %d: %d kills requested, %d left" round
+                  nkills budget));
+        let is_killed pid = Hashtbl.mem seen pid in
+        let except = if nkills = 0 then None else Some is_killed in
+        (* Base accumulator: every surviving sender, absorbed class-wise.
+           Absorb order differs from the concrete engine's ascending-pid
+           fold, which is sound because absorb is commutative as values
+           (Protocol contract, pinned by the absorb-commutes property). *)
+        let base =
+          Array.fold_left
+            (fun acc s -> co.Protocol.c_absorb acc s ~except)
+            (a.init ()) subs
+        in
+        let nsurvivors = active_before - nkills in
+        (* Receivers owed extra deliveries: victim lists per receiver, with
+           duplicate recipients inside one victim's deliver_to collapsed
+           (the concrete engine's mask does the same). *)
+        let extras = Hashtbl.create 8 in
+        List.iter
+          (fun { Adversary.victim; deliver_to } ->
+            List.iter
+              (fun r ->
+                if r >= 0 && r < e.n && active_at e r && not (is_killed r) then
+                  match Hashtbl.find_opt extras r with
+                  | Some (v :: _) when v = victim -> ()
+                  | Some vs -> Hashtbl.replace extras r (victim :: vs)
+                  | None -> Hashtbl.add extras r [ victim ])
+              deliver_to)
+          kills;
+        let emit_on = Obs.Sink.enabled e.sink in
+        let delivered = ref (nsurvivors * (active_before - nkills)) in
+        let newly_decided = ref 0 in
+        let newly_halted = ref 0 in
+        let decision_events = ref [] in
+        let committed = ref [] in
+        (* Class-uniform Phase-B commit: one decision-discipline check per
+           group, per-member writes only on decide/halt. *)
+        let commit_group ~members state' =
+          let j0 = members.(0) in
+          let before = e.decisions.(j0) in
+          let after = e.protocol.Protocol.decision state' in
+          (match (before, after) with
+          | Some v, Some v' when v <> v' ->
+              raise
+                (Engine.Decision_changed
+                   (Printf.sprintf "process %d changed decision %d -> %d" j0 v v'))
+          | Some v, None ->
+              raise
+                (Engine.Decision_changed
+                   (Printf.sprintf "process %d revoked decision %d" j0 v))
+          | None, Some v ->
+              newly_decided := !newly_decided + Array.length members;
+              Array.iter
+                (fun j ->
+                  e.decisions.(j) <- Some v;
+                  e.decision_round.(j) <- round;
+                  if emit_on then decision_events := (j, v) :: !decision_events)
+                members
+          | None, None | Some _, Some _ -> ());
+          if e.protocol.Protocol.halted state' then begin
+            if after = None then
+              raise
+                (Engine.Decision_changed
+                   (Printf.sprintf "process %d halted without deciding" j0));
+            newly_halted := !newly_halted + Array.length members;
+            Array.iter (fun j -> e.halted.(j) <- true) members
+          end
+          else committed := (state', members) :: !committed
+        in
+        (* Receivers with extras, grouped by (subclass, victim set): every
+           receiver in a group sees the same accumulator, so finish runs
+           once per group. Both folds land in a sort, keeping the Hashtbl's
+           iteration order out of every observable. *)
+        let group_tbl = Hashtbl.create 8 in
+        (Hashtbl.fold (fun r vs acc -> (r, vs) :: acc) extras []
+        |> List.sort (fun (r1, _) (r2, _) -> Int.compare r1 r2)
+        |> List.iter (fun (r, vs) ->
+               match find_member r with
+               | None -> assert false
+               | Some (si, _) -> (
+                   let key = (si, vs) in
+                   match Hashtbl.find_opt group_tbl key with
+                   | Some members -> members := r :: !members
+                   | None -> Hashtbl.add group_tbl key (ref [ r ]))));
+        let extra_groups =
+          Hashtbl.fold
+            (fun (si, vs) members acc ->
+              (si, vs, Array.of_list (List.rev !members)) :: acc)
+            group_tbl []
+          |> List.sort (fun (_, _, m1) (_, _, m2) -> Int.compare m1.(0) m2.(0))
+        in
+        List.iter
+          (fun (si, vs, members) ->
+            let acc =
+              List.fold_left
+                (fun acc v ->
+                  match find_member v with
+                  | None -> assert false
+                  | Some (vsi, vk) ->
+                      a.absorb acc ~pid:v (co.Protocol.c_msg subs.(vsi) vk))
+                base vs
+            in
+            delivered := !delivered + (List.length vs * Array.length members);
+            commit_group ~members
+              (a.finish subs.(si).Protocol.sub_state ~round acc))
+          extra_groups;
+        (* Everyone else sees the plain base accumulator: per subclass, the
+           members that are neither killed nor owed extras. *)
+        Array.iter
+          (fun s ->
+            let ms = s.Protocol.sub_members in
+            let members =
+              if nkills = 0 then ms
+              else begin
+                let keep = ref 0 in
+                Array.iter
+                  (fun pid ->
+                    if not (is_killed pid || Hashtbl.mem extras pid) then incr keep)
+                  ms;
+                let out = Array.make !keep 0 in
+                let j = ref 0 in
+                Array.iter
+                  (fun pid ->
+                    if not (is_killed pid || Hashtbl.mem extras pid) then begin
+                      out.(!j) <- pid;
+                      incr j
+                    end)
+                  ms;
+                out
+              end
+            in
+            if Array.length members > 0 then
+              commit_group ~members (a.finish s.Protocol.sub_state ~round base))
+          subs;
+        (* Victims are dead from now on. *)
+        let partial_count = ref 0 in
+        List.iter
+          (fun { Adversary.victim; deliver_to } ->
+            e.alive.(victim) <- false;
+            if deliver_to <> [] then incr partial_count)
+          kills;
+        e.kills_used <- e.kills_used + nkills;
+        e.round <- round;
+        e.active <- active_before - nkills - !newly_halted;
+        e.classes <-
+          merge_classes ~equal:co.Protocol.c_equal ~hash:co.Protocol.c_hash
+            !committed;
+        if emit_on then begin
+          (* Same per-round event shape and order as the concrete engine:
+             Decisions ascending by pid, Kills in plan order, one Round. *)
+          !decision_events
+          |> List.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2)
+          |> List.iter (fun (pid, value) ->
+                 Obs.Sink.emit e.sink
+                   (Obs.Event.Decision
+                      { engine = Obs.Event.Sync; round; pid; value }));
+          List.iter
+            (fun { Adversary.victim; deliver_to } ->
+              Obs.Sink.emit e.sink
+                (Obs.Event.Kill
+                   {
+                     engine = Obs.Event.Sync;
+                     round;
+                     victim;
+                     delivered_to = List.length deliver_to;
+                   }))
+            kills;
+          let ones =
+            match e.observer with
+            | None -> None
+            | Some f ->
+                let c = ref 0 in
+                Array.iter
+                  (fun s ->
+                    for k = 0 to Array.length s.Protocol.sub_members - 1 do
+                      if f (co.Protocol.c_msg s k) then incr c
+                    done)
+                  subs;
+                Some !c
+          in
+          let victims =
+            kills
+            |> List.map (fun k -> k.Adversary.victim)
+            |> List.sort Int.compare |> Array.of_list
+          in
+          Obs.Sink.emit e.sink
+            (Obs.Event.Round
+               {
+                 engine = Obs.Event.Sync;
+                 round;
+                 active = active_before;
+                 victims;
+                 partial_sends = !partial_count;
+                 delivered = !delivered;
+                 newly_decided = !newly_decided;
+                 newly_halted = !newly_halted;
+                 ones_pending = ones;
+               })
+        end;
+        `Continue
+    | Some (Protocol.Aggregate { cohort = None; _ }) | None ->
+        (* [start] refuses such protocols. *)
+        assert false
+
+let run_until e adversary ~max_rounds =
+  let rec loop () =
+    if e.round >= max_rounds then ()
+    else match step e adversary with `Quiescent -> () | `Continue -> loop ()
+  in
+  loop ()
+
+let alive_count e =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 e.alive
+
+let outcome e =
+  let rounds_to_decide =
+    let vacuous = alive_count e = 0 in
+    if vacuous then Some e.round
+    else begin
+      let worst = ref 0 and all = ref true in
+      for i = 0 to e.n - 1 do
+        if e.alive.(i) then
+          if e.decision_round.(i) < 0 then all := false
+          else if e.decision_round.(i) > !worst then worst := e.decision_round.(i)
+      done;
+      if !all then Some !worst else None
+    end
+  in
+  {
+    Engine.rounds_executed = e.round;
+    rounds_to_decide;
+    decisions = Array.copy e.decisions;
+    faulty = Array.map not e.alive;
+    halted = Array.copy e.halted;
+    kills_used = e.kills_used;
+    quiescent = e.active = 0;
+    trace = e.trace;
+  }
+
+let run ?record_trace ?observer ?sink ?(max_rounds = 10_000) protocol adversary
+    ~inputs ~t ~rng =
+  let e = start ?record_trace ?observer ?sink protocol ~inputs ~t ~rng in
+  run_until e adversary ~max_rounds;
+  outcome e
+
+let round (e : _ exec) = e.round
+
+let n (e : _ exec) = e.n
+
+let kills_used (e : _ exec) = e.kills_used
+
+let active_count (e : _ exec) = e.active
+
+let class_count (e : _ exec) = List.length e.classes
+
+let classes (e : _ exec) =
+  List.map (fun cl -> (cl.cls_state, Array.copy cl.cls_members)) e.classes

@@ -125,8 +125,8 @@ let summary_of_acc acc =
   }
 
 let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
-    ?cancel ?checkpoint ?capture ~trials ~seed ~gen_inputs ~t protocol
-    make_adversary =
+    ?cancel ?checkpoint ?capture ?(engine = `Concrete) ?cohort_adversary
+    ~trials ~seed ~gen_inputs ~t protocol make_adversary =
   if trials <= 0 then invalid_arg "Runner.run_trials: trials must be positive";
   let work index acc =
     let trial = index + 1 in
@@ -135,17 +135,25 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
        worker count, scheduling, or how many trials run. *)
     let rng = Prng.Rng.of_seed_index ~seed ~index in
     let inputs = gen_inputs rng in
+    let sink =
+      (* The sink closure is rebuilt per trial over the chunk's plain
+         data slice, so the checkpointed acc stays Marshal-safe. *)
+      match acc.acc_obs with None -> None | Some ob -> Some (obs_sink ob)
+    in
     (* A fresh adversary per trial: adversaries may close over mutable
        trackers, which must not be shared across concurrent trials. *)
-    let adversary = make_adversary () in
     let o =
-      match acc.acc_obs with
-      | None -> Engine.run ~max_rounds protocol adversary ~inputs ~t ~rng
-      | Some ob ->
-          (* The sink closure is rebuilt per trial over the chunk's plain
-             data slice, so the checkpointed acc stays Marshal-safe. *)
-          Engine.run ~max_rounds ~sink:(obs_sink ob) protocol adversary ~inputs
-            ~t ~rng
+      match engine with
+      | `Concrete ->
+          Engine.run ~max_rounds ?sink protocol (make_adversary ()) ~inputs ~t
+            ~rng
+      | `Cohort ->
+          let adversary =
+            match cohort_adversary with
+            | Some f -> f ()
+            | None -> Cohort.Concrete (make_adversary ())
+          in
+          Cohort.run ~max_rounds ?sink protocol adversary ~inputs ~t ~rng
     in
     (match acc.acc_obs with
     | None -> ()
@@ -231,11 +239,12 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     cancelled = s.Parallel.cancelled;
   }
 
-let run_trials ?max_rounds ?strict ?jobs ?capture ~trials ~seed ~gen_inputs ~t
-    protocol make_adversary =
+let run_trials ?max_rounds ?strict ?jobs ?chunk_size ?capture ?engine
+    ?cohort_adversary ~trials ~seed ~gen_inputs ~t protocol make_adversary =
   let r =
-    run_trials_supervised ?max_rounds ?strict ?jobs ?capture ~trials ~seed
-      ~gen_inputs ~t protocol make_adversary
+    run_trials_supervised ?max_rounds ?strict ?jobs ?chunk_size ?capture
+      ?engine ?cohort_adversary ~trials ~seed ~gen_inputs ~t protocol
+      make_adversary
   in
   match (r.failures, r.partial) with
   | f :: _, _ ->

@@ -55,6 +55,8 @@ val run_trials_supervised :
   ?cancel:(unit -> bool) ->
   ?checkpoint:Checkpoint.t ->
   ?capture:Obs.Capture.t ->
+  ?engine:[ `Concrete | `Cohort ] ->
+  ?cohort_adversary:(unit -> ('state, 'msg) Cohort.adversary) ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
@@ -82,13 +84,26 @@ val run_trials_supervised :
     [runner.non_terminating]) accumulate alongside the per-event ones;
     checkpoint stores/resumes surface as {!Obs.Event.Checkpoint} events.
     No capture (the default) keeps trials on the engine's zero-cost
-    disabled-sink path. *)
+    disabled-sink path.
+
+    [engine] (default [`Concrete]) selects the execution engine per trial.
+    [`Cohort] runs each trial through the population-compressed
+    {!Cohort} engine — byte-identical observables, per-round cost
+    proportional to distinct states rather than [n] — and requires a
+    {!Protocol.cohort_capable} protocol. The adversary comes from
+    [cohort_adversary] when given (typically a cohort-native planner);
+    otherwise each trial's [make_adversary ()] result is wrapped as
+    {!Cohort.Concrete}, exact but with per-process view reconstruction
+    costs. [cohort_adversary] is ignored under [`Concrete]. *)
 
 val run_trials :
   ?max_rounds:int ->
   ?strict:bool ->
   ?jobs:int ->
+  ?chunk_size:int ->
   ?capture:Obs.Capture.t ->
+  ?engine:[ `Concrete | `Cohort ] ->
+  ?cohort_adversary:(unit -> ('state, 'msg) Cohort.adversary) ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
@@ -100,7 +115,9 @@ val run_trials :
     {!Prng.Rng.of_seed_index}, so it is reproducible regardless of how many
     trials run, in what order, or across how many domains: [~jobs:8]
     produces a bit-identical summary to [~jobs:1]. [jobs] defaults to
-    {!Parallel.default_jobs}. The last argument builds the adversary; it is
+    {!Parallel.default_jobs}; [chunk_size] and [engine]/[cohort_adversary]
+    behave as in {!run_trials_supervised} (and like [jobs], neither
+    changes the summary). The last argument builds the adversary; it is
     called once per trial because adversaries may carry mutable per-run
     trackers that must not be shared across concurrent trials (the factory
     itself must be deterministic and thread-safe — building from immutable

@@ -161,6 +161,45 @@ let test_band_idles_when_budget_zero () =
   check_int "no kills possible" 0 o.Sim.Engine.kills_used;
   Sim.Checker.assert_ok ~inputs o
 
+let test_band_empty_receive_set () =
+  (* Regression: with [min_active = 0] the planner can be invoked with an
+     empty receiver set. The min-fold over delivered counts used a
+     [max_int] sentinel that leaked into the flip-band arithmetic
+     ([propose_hi * nmin / 10] wraps); the fix bails out to "idle" before
+     any band math, so the emitted Band event carries an all-zero band. *)
+  let events = ref [] in
+  let sink = Obs.Sink.create (fun ev -> events := ev :: !events) in
+  let adversary =
+    Core.Lb_adversary.band_control
+      ~config:{ Core.Lb_adversary.default_config with min_active = 0 }
+      ~sink ~rules:Core.Onesided.paper
+      ~bit_of_msg:(fun (b : int) -> b)
+      ()
+  in
+  let view =
+    {
+      Sim.Adversary.round = 1;
+      n = 4;
+      t = 4;
+      budget_left = 4;
+      alive = (fun _ -> false);
+      active = (fun _ -> false);
+      state = (fun _ -> ());
+      pending = (fun _ -> None);
+      decision = (fun _ -> None);
+    }
+  in
+  let plan = adversary.Sim.Adversary.plan view (Prng.Rng.create 11) in
+  check_int "no kills planned" 0 (List.length plan);
+  match !events with
+  | [ Obs.Event.Band { action; flip_lo; flip_hi; margin; kills; _ } ] ->
+      Alcotest.(check string) "action" "idle" action;
+      check_int "flip_lo" 0 flip_lo;
+      check_int "flip_hi" 0 flip_hi;
+      check_int "margin" 0 margin;
+      check_int "kills" 0 kills
+  | _ -> Alcotest.fail "expected exactly one Band event"
+
 let test_band_against_ablated_rules () =
   (* Band control parameterized by the ablated rule set still respects the
      engine's discipline (budget, liveness of the run loop); safety of the
@@ -265,6 +304,7 @@ let suites =
         tc "forces long executions" test_band_forces_long_executions;
         tc "resets between trials" test_band_resets_between_trials;
         tc "idles at zero budget" test_band_idles_when_budget_zero;
+        tc "idles on empty receive set" test_band_empty_receive_set;
         tc "works with ablated rules" test_band_against_ablated_rules;
       ] );
     ( "core.mc-valency",

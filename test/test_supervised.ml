@@ -161,6 +161,47 @@ let test_checkpoint_sanitized_dir () =
          | _ -> false)
        base)
 
+let test_checkpoint_collision_distinct () =
+  (* Regression: sanitization is lossy — "e1/a" and "e1 a" both sanitize
+     to "e1_a" and used to share (and clobber) one store directory. The
+     short raw-id hash in the directory name keeps them apart. *)
+  let mk exp =
+    Sim.Checkpoint.create ~root:"ckpt_test_collide" ~exp ~seed:1 ~chunk_size:4
+      ~n:8
+  in
+  let ck_slash = mk "e1/a" and ck_space = mk "e1 a" in
+  check_bool "lossy-sanitizing ids get distinct directories" true
+    (Sim.Checkpoint.dir ck_slash <> Sim.Checkpoint.dir ck_space);
+  (* And the stores really are independent: each loads only its own data. *)
+  Sim.Checkpoint.store ck_slash ~chunk:0 [ 1 ];
+  Sim.Checkpoint.store ck_space ~chunk:0 [ 2 ];
+  check_bool "slash store unclobbered" true
+    ((Sim.Checkpoint.load ck_slash ~chunk:0 : int list option) = Some [ 1 ]);
+  check_bool "space store unclobbered" true
+    ((Sim.Checkpoint.load ck_space ~chunk:0 : int list option) = Some [ 2 ]);
+  Sim.Checkpoint.clear ck_slash;
+  Sim.Checkpoint.clear ck_space
+
+let test_checkpoint_tmp_sweep () =
+  (* Regression: a SIGKILL between [open_out_bin] and [Sys.rename] inside
+     [store] leaves a stale [chunk-N.tmp]. Re-opening the store (a resume)
+     sweeps them; real chunk files are untouched. *)
+  let mk () =
+    Sim.Checkpoint.create ~root:"ckpt_test_sweep" ~exp:"sweep" ~seed:2
+      ~chunk_size:4 ~n:8
+  in
+  let ck = mk () in
+  Sim.Checkpoint.store ck ~chunk:1 [ 7 ];
+  let stale = Filename.concat (Sim.Checkpoint.dir ck) "chunk-5.tmp" in
+  let oc = open_out_bin stale in
+  output_string oc "truncated garbage";
+  close_out oc;
+  let ck' = mk () in
+  check_bool "stale .tmp swept on re-create" false (Sys.file_exists stale);
+  check_bool "real chunk survives the sweep" true
+    ((Sim.Checkpoint.load ck' ~chunk:1 : int list option) = Some [ 7 ]);
+  Sim.Checkpoint.clear ck'
+
 (* --- Sim.Runner: supervised runs --------------------------------------- *)
 
 let summary_key (s : Sim.Runner.summary) =
@@ -252,9 +293,19 @@ let test_runner_checkpoint_resume_exact () =
   check_int "three chunks persisted" 3 interrupted.Sim.Runner.chunks_done;
   check_bool "checkpoint files survive the interrupt" true
     (Sys.file_exists (Sim.Checkpoint.dir (make_ck ())));
+  (* A kill mid-[store] leaves a stale atomic-write temporary; plant one
+     and check the resume's store open sweeps it. *)
+  let stale =
+    Filename.concat (Sim.Checkpoint.dir (make_ck ())) "chunk-1.tmp"
+  in
+  let oc = open_out_bin stale in
+  output_string oc "half-written";
+  close_out oc;
   (* Resume at a different worker count: saved chunks short-circuit, the
      rest recompute, and the merged summary is byte-identical. *)
-  let resumed = run_supervised ~checkpoint:(make_ck ()) ~jobs:3 () in
+  let resume_ck = make_ck () in
+  check_bool "stale .tmp swept on resume" false (Sys.file_exists stale);
+  let resumed = run_supervised ~checkpoint:resume_ck ~jobs:3 () in
   check_bool "no failures" true (resumed.Sim.Runner.failures = []);
   check_bool "not cancelled" false resumed.Sim.Runner.cancelled;
   check_int "all chunks done" resumed.Sim.Runner.chunks_total
@@ -267,6 +318,32 @@ let test_runner_checkpoint_resume_exact () =
   | None -> Alcotest.fail "resumed summary missing");
   check_bool "completed run retires its checkpoints" false
     (Sys.file_exists (Sim.Checkpoint.dir (make_ck ())))
+
+let test_runner_chunk_size_validated () =
+  (* [chunk_size] is now accepted (and validated) at the runner layer; a
+     non-positive value fails fast with the Parallel invariant instead of
+     deep inside a worker. The CLI rejects it even earlier, at argument
+     parsing ("--chunk-size 0" never reaches this code). *)
+  Alcotest.check_raises "chunk_size 0 rejected"
+    (Invalid_argument "Parallel.fold_chunks: chunk_size") (fun () ->
+      ignore
+        (Sim.Runner.run_trials ~chunk_size:0 ~jobs:1 ~trials:4 ~seed:5
+           ~gen_inputs:(Sim.Runner.input_gen_random ~n:8) ~t:3
+           (Core.Synran.protocol 8)
+           (fun () -> Sim.Adversary.null)))
+
+let test_runner_chunk_size_identity () =
+  (* Like [jobs], [chunk_size] must not change the summary. *)
+  let run chunk_size =
+    Sim.Runner.run_trials ~max_rounds:500 ~jobs:1 ~chunk_size ~trials:12
+      ~seed:9
+      ~gen_inputs:(Sim.Runner.input_gen_random ~n:8)
+      ~t:3
+      (Core.Synran.protocol 8)
+      (fun () -> Sim.Adversary.null)
+  in
+  check_bool "chunk_size 1 = chunk_size 5" true
+    (summary_key (run 1) = summary_key (run 5))
 
 (* --- Core.Supervise ----------------------------------------------------- *)
 
@@ -390,6 +467,9 @@ let suites =
         tc "store/load round-trip and clear" test_checkpoint_roundtrip;
         tc "key mismatch is rejected" test_checkpoint_key_mismatch;
         tc "experiment names are sanitized" test_checkpoint_sanitized_dir;
+        tc "lossy-sanitizing ids do not collide"
+          test_checkpoint_collision_distinct;
+        tc "stale .tmp files are swept" test_checkpoint_tmp_sweep;
       ] );
     ( "supervised.runner",
       [
@@ -397,6 +477,9 @@ let suites =
           test_runner_crash_salvage;
         tc "interrupt + resume is byte-identical"
           test_runner_checkpoint_resume_exact;
+        tc "chunk_size is validated" test_runner_chunk_size_validated;
+        tc "chunk_size does not change the summary"
+          test_runner_chunk_size_identity;
       ] );
     ( "supervised.ctx",
       [
