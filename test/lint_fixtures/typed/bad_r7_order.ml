@@ -1,0 +1,14 @@
+(* BAD (R7): a cohort op processing class members in descending pid order.
+   Per-member coin draws consume the RNG in iteration order, so anything
+   but ascending iteration breaks the cohort byte-identity contract. *)
+
+type sub = { sub_members : int array; sub_state : int }
+
+let c_phase_a st =
+  let acc = ref 0 in
+  for i = Array.length st.sub_members - 1 downto 0 do
+    acc := !acc + st.sub_members.(i)
+  done;
+  { st with sub_state = acc.contents }
+
+let _ = c_phase_a

@@ -1,0 +1,9 @@
+(* BAD (R8): an order-sensitive float accumulation inside a merge sink.
+   Float addition is not associative, so a list-order-dependent fold
+   feeding a merged registry breaks cross-[--jobs] bit-identity. *)
+
+module Welford = struct
+  let merge xs = List.fold_left ( +. ) 0.0 xs
+end
+
+let _ = Welford.merge

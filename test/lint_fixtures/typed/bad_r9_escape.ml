@@ -1,0 +1,23 @@
+(* BAD (R9): a mutable ref defined outside the chunk closure, mutated
+   from inside it. State escaping the supervised chunk boundary makes a
+   resumed run diverge from an uninterrupted one. *)
+
+module Parallel = struct
+  let fold_chunks_supervised ~work n =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := acc.contents + work i
+    done;
+    acc.contents
+end
+
+let total = ref 0
+
+let run () =
+  Parallel.fold_chunks_supervised
+    ~work:(fun i ->
+      total := total.contents + i;
+      i)
+    10
+
+let _ = run

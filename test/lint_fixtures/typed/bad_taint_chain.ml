@@ -1,0 +1,14 @@
+(* BAD (T1, interprocedural): a wall-clock read two call edges away from a
+   protected sink. [Runner.run_trials] (a sink root) calls [mid], which
+   calls [leaf], which reads [Sys.time] — the taint pass must report a
+   chain naming the intermediate function [mid]. *)
+
+module Runner = struct
+  let leaf () = Sys.time ()
+
+  let mid () = leaf () +. 1.0
+
+  let run_trials n = float_of_int n *. mid ()
+end
+
+let _ = Runner.run_trials 3

@@ -1,0 +1,13 @@
+(* GOOD: the same cohort op iterating the documented sorted member array
+   in ascending order — the sanctioned style. *)
+
+type sub = { sub_members : int array; sub_state : int }
+
+let c_phase_a st =
+  let acc = ref 0 in
+  for i = 0 to Array.length st.sub_members - 1 do
+    acc := !acc + st.sub_members.(i)
+  done;
+  { st with sub_state = acc.contents }
+
+let _ = c_phase_a

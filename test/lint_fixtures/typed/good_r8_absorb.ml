@@ -1,0 +1,26 @@
+(* GOOD: the commutative init/absorb/finish algebra — merge combines two
+   accumulators with closed-form arithmetic instead of folding a float
+   sequence, so chunk order cannot reach the result. *)
+
+module Welford = struct
+  type t = { n : int; mean : float }
+
+  let init = { n = 0; mean = 0.0 }
+
+  let absorb t x =
+    let n = t.n + 1 in
+    { n; mean = t.mean +. ((x -. t.mean) /. float_of_int n) }
+
+  let merge a b =
+    let n = a.n + b.n in
+    if n = 0 then init
+    else
+      {
+        n;
+        mean =
+          ((a.mean *. float_of_int a.n) +. (b.mean *. float_of_int b.n))
+          /. float_of_int n;
+      }
+end
+
+let _ = (Welford.absorb, Welford.merge)

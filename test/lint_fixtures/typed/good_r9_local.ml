@@ -1,0 +1,22 @@
+(* GOOD: chunk-local state only — the ref is created inside the closure
+   and its value is returned through the accumulator, so nothing escapes
+   the chunk boundary. *)
+
+module Parallel = struct
+  let fold_chunks_supervised ~work n =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := acc.contents + work i
+    done;
+    acc.contents
+end
+
+let run () =
+  Parallel.fold_chunks_supervised
+    ~work:(fun i ->
+      let local = ref 0 in
+      local := local.contents + i;
+      local.contents)
+    10
+
+let _ = run

@@ -1,0 +1,14 @@
+(* GOOD: the same two-edge call shape as bad_taint_chain.ml, but the
+   wall-clock occurrence carries an expression-level waiver, so the leaf
+   is quarantined and no taint reaches the sink. *)
+
+module Runner = struct
+  let leaf () =
+    (Sys.time () [@detlint.allow "R2: fixture — diagnostic timing only"])
+
+  let mid () = leaf () +. 1.0
+
+  let run_trials n = float_of_int n *. mid ()
+end
+
+let _ = Runner.run_trials 3

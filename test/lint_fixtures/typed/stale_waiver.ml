@@ -1,0 +1,6 @@
+(* W1 fixture: a waiver on a pure function suppresses nothing — the code
+   it once excused is gone, so the audit must flag it stale. *)
+
+let pure x = x + 1 [@@detlint.allow "R2: timing code long since removed"]
+
+let _ = pure

@@ -198,6 +198,92 @@ let lockstep ~name ?(count = 20) ?(rounds = 12) ~protocol ~adversary ~n ~max_t
          ok := false);
       !ok)
 
+(* Runtime witness for lint rule R7 (cohort class-member order): the round
+   outcome a protocol's cohort ops compute must not depend on the order in
+   which subclasses are enumerated. We run [c_phase_a] once, fold
+   [c_absorb] over the subclass list in ascending enumeration order and
+   over a random permutation of it, and require the two accumulators to
+   induce byte-identical Phase-B results — same state (structural equality
+   is safe here for the same reason as in [decomposition_ok]), same
+   decision, same halting. The static rule forbids order-sensitive code in
+   cohort closures; this property checks the algebra it protects. *)
+let shuffle rng a =
+  for i = 1 to Array.length a - 1 do
+    let j = Prng.Rng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation_invariance ~name ?(count = 40) ~protocol ~n () =
+  let open Sim.Protocol in
+  match protocol.aggregate with
+  | Some (Aggregate { init; finish; cohort = Some co; _ }) ->
+      QCheck.Test.make ~name ~count
+        QCheck.(pair small_int small_int)
+        (fun (seed, esel) ->
+          let inputs = Prng.Sample.random_bits (Prng.Rng.create (seed + 1)) n in
+          let states =
+            Array.init n (fun pid -> protocol.init ~n ~pid ~input:inputs.(pid))
+          in
+          (* Group pids into initial classes by state equality, preserving
+             ascending member order within each class. *)
+          let classes = ref [] in
+          Array.iteri
+            (fun pid st ->
+              match List.find_opt (fun (s, _) -> co.c_equal s st) !classes with
+              | Some (_, members) -> members := pid :: !members
+              | None -> classes := !classes @ [ (st, ref [ pid ]) ])
+            states;
+          let classes =
+            List.map
+              (fun (st, members) -> (st, Array.of_list (List.rev !members)))
+              !classes
+          in
+          let rng_of pid = Prng.Rng.of_seed_index ~seed ~index:pid in
+          let subs =
+            List.concat_map
+              (fun (st, members) -> co.c_phase_a st ~members ~rng_of)
+              classes
+          in
+          let permuted =
+            let a = Array.of_list subs in
+            shuffle (Prng.Rng.create (seed + 17)) a;
+            Array.to_list a
+          in
+          (* Alternate between full delivery and a fixed kill set, so the
+             [except] path is exercised under permutation too. *)
+          let except =
+            if esel mod 2 = 0 then None else Some (fun pid -> pid mod 5 = 1)
+          in
+          let absorb_all l =
+            List.fold_left (fun acc s -> co.c_absorb acc s ~except) (init ()) l
+          in
+          let acc_fwd = absorb_all subs and acc_perm = absorb_all permuted in
+          List.for_all
+            (fun s ->
+              let a = finish s.sub_state ~round:1 acc_fwd in
+              let b = finish s.sub_state ~round:1 acc_perm in
+              a = b && co.c_equal a b
+              && protocol.decision a = protocol.decision b
+              && protocol.halted a = protocol.halted b)
+            subs)
+  | _ ->
+      QCheck.Test.make ~name ~count:1 QCheck.unit (fun () ->
+          (* A protocol under this property must declare cohort ops. *)
+          false)
+
+let permutation_tests =
+  [
+    permutation_invariance
+      ~name:"synran subclass absorb order invariance (R7 witness)"
+      ~protocol:(Core.Synran.protocol 33) ~n:33 ();
+    permutation_invariance
+      ~name:"floodset subclass absorb order invariance (R7 witness)"
+      ~protocol:(Baselines.Floodset.protocol ~rounds:4 ())
+      ~n:21 ();
+  ]
+
 let lockstep_tests =
   [
     lockstep ~name:"lockstep synran vs drip"
@@ -265,7 +351,8 @@ let suites =
   [
     ( "cohort.differential",
       List.map to_alcotest (synran_tests @ floodset_tests) );
-    ("cohort.invariants", List.map to_alcotest lockstep_tests);
+    ( "cohort.invariants",
+      List.map to_alcotest (lockstep_tests @ permutation_tests) );
     ( "cohort.api",
       [
         Alcotest.test_case "refuses non-cohort protocols" `Quick

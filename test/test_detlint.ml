@@ -195,6 +195,207 @@ let test_json_report_shape () =
   Alcotest.(check bool) "rule table present" true (mem "\"R4\"");
   Alcotest.(check bool) "justification serialized" true (mem "justification")
 
+(* --- typed-tree taint pass --------------------------------------------- *)
+
+(* The typed fixtures are compiled on the fly with [ocamlc -c -bin-annot]
+   in a temp dir (exactly the artifact shape dune produces), then fed to
+   the same callgraph/taint pipeline `detlint --taint` runs. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains ~needle hay =
+  let ln = String.length needle in
+  let rec go i =
+    i + ln <= String.length hay && (String.sub hay i ln = needle || go (i + 1))
+  in
+  go 0
+
+let analyze_typed_fixture name =
+  let dir = Filename.temp_dir "detlint_typed_" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let src = Filename.concat "lint_fixtures/typed" (name ^ ".ml") in
+      let dst = Filename.concat dir (name ^ ".ml") in
+      copy_file src dst;
+      let rc =
+        Sys.command
+          (Printf.sprintf "ocamlc -c -bin-annot -w -a %s" (Filename.quote dst))
+      in
+      Alcotest.(check int) ("ocamlc compiles " ^ name) 0 rc;
+      let cmt = Filename.concat dir (name ^ ".cmt") in
+      let _, graph = Detlint_callgraph.load_paths [ cmt ] in
+      let result = Detlint_taint.analyze graph in
+      (graph, result))
+
+let taint_rules (r : Detlint_taint.result) =
+  rules r.Detlint_taint.findings
+
+let entry_class (r : Detlint_taint.result) fn_suffix =
+  match
+    List.find_opt
+      (fun (e : Detlint_taint.entry) ->
+        Detlint_callgraph.suffix_matches ~suffix:fn_suffix
+          e.Detlint_taint.e_fn)
+      r.Detlint_taint.entries
+  with
+  | Some e -> (
+      match e.Detlint_taint.e_class with
+      | Detlint_taint.Det -> "det"
+      | Detlint_taint.Nondet _ -> "nondet"
+      | Detlint_taint.Quarantined _ -> "quarantined")
+  | None -> Alcotest.failf "no ledger entry matching %s" fn_suffix
+
+let test_taint_chain_fires () =
+  let _, r = analyze_typed_fixture "bad_taint_chain" in
+  check_strings "T1 and only T1" [ "T1" ] (taint_rules r);
+  (match r.Detlint_taint.findings with
+  | [ f ] ->
+      Alcotest.(check bool)
+        "chain starts at the sink root" true
+        (contains ~needle:"Runner.run_trials -> " f.Detlint.message);
+      Alcotest.(check bool)
+        "chain names the intermediate function" true
+        (contains ~needle:"Runner.mid" f.Detlint.message);
+      Alcotest.(check bool)
+        "chain ends at the sourced leaf" true
+        (contains ~needle:"Runner.leaf" f.Detlint.message)
+  | fs -> Alcotest.failf "expected exactly one T1, got %d" (List.length fs));
+  (* The ledger classifies the whole chain nondet: taint propagated
+     callee -> caller across both edges. *)
+  List.iter
+    (fun fn -> Alcotest.(check string) fn "nondet" (entry_class r fn))
+    [ "Runner.leaf"; "Runner.mid"; "Runner.run_trials" ]
+
+let test_taint_waiver_quarantines () =
+  let g, r = analyze_typed_fixture "good_taint_waived" in
+  check_strings "no findings" [] (taint_rules r);
+  Alcotest.(check string)
+    "waived leaf is quarantined" "quarantined" (entry_class r "Runner.leaf");
+  Alcotest.(check string)
+    "taint stops at the quarantine" "det" (entry_class r "Runner.run_trials");
+  match Detlint_taint.waiver_sites g r with
+  | [ (_, used) ] -> Alcotest.(check bool) "waiver counted as used" true used
+  | ws -> Alcotest.failf "expected one waiver site, got %d" (List.length ws)
+
+let test_r7_fires_and_clean () =
+  let _, bad = analyze_typed_fixture "bad_r7_order" in
+  check_strings "R7 on descending member loop" [ "R7" ] (taint_rules bad);
+  (match bad.Detlint_taint.findings with
+  | [ f ] ->
+      Alcotest.(check bool)
+        "finding names the cohort op" true
+        (contains ~needle:"c_phase_a" f.Detlint.message)
+  | fs -> Alcotest.failf "expected exactly one R7, got %d" (List.length fs));
+  let _, good = analyze_typed_fixture "good_r7_sorted" in
+  check_strings "ascending iteration is clean" [] (taint_rules good)
+
+let test_r8_fires_and_clean () =
+  let _, bad = analyze_typed_fixture "bad_r8_floatfold" in
+  check_strings "R8 on float fold in a merge" [ "R8" ] (taint_rules bad);
+  let _, good = analyze_typed_fixture "good_r8_absorb" in
+  check_strings "absorb algebra is clean" [] (taint_rules good)
+
+let test_r9_fires_and_clean () =
+  let _, bad = analyze_typed_fixture "bad_r9_escape" in
+  check_strings "R9 on escaping ref" [ "R9" ] (taint_rules bad);
+  (match bad.Detlint_taint.findings with
+  | [ f ] ->
+      Alcotest.(check bool)
+        "finding names the escaping variable" true
+        (contains ~needle:"\"total\"" f.Detlint.message)
+  | fs -> Alcotest.failf "expected exactly one R9, got %d" (List.length fs));
+  let _, good = analyze_typed_fixture "good_r9_local" in
+  check_strings "chunk-local ref is clean" [] (taint_rules good)
+
+let test_stale_waiver_detected () =
+  let g, r = analyze_typed_fixture "stale_waiver" in
+  check_strings "no rule findings" [] (taint_rules r);
+  match Detlint_taint.waiver_sites g r with
+  | [ (w, used) ] ->
+      Alcotest.(check bool) "waiver is stale" false used;
+      Alcotest.(check string) "stale waiver rule" "R2"
+        w.Detlint_callgraph.w_rule
+  | ws -> Alcotest.failf "expected one waiver site, got %d" (List.length ws)
+
+let test_ledger_byte_stable () =
+  (* Two independent loads+analyses of the same compiled tree must
+     serialize to the same bytes — the contract `@bench-smoke` diffs on. *)
+  let dir = Filename.temp_dir "detlint_typed_" "" in
+  let r1, r2 =
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        let dst = Filename.concat dir "bad_taint_chain.ml" in
+        copy_file "lint_fixtures/typed/bad_taint_chain.ml" dst;
+        let rc =
+          Sys.command
+            (Printf.sprintf "ocamlc -c -bin-annot -w -a %s"
+               (Filename.quote dst))
+        in
+        Alcotest.(check int) "ocamlc compiles bad_taint_chain" 0 rc;
+        let analyze () =
+          let _, graph = Detlint_callgraph.load_paths [ dir ] in
+          Detlint_taint.analyze graph
+        in
+        (analyze (), analyze ()))
+  in
+  let j1 = Detlint_ledger.to_json r1 and j2 = Detlint_ledger.to_json r2 in
+  Alcotest.(check string) "byte-identical ledgers" j1 j2;
+  Alcotest.(check bool)
+    "ledger carries its schema version" true
+    (contains ~needle:"\"schema_version\": 2" j1)
+
+(* --- JSON report stability and golden schema --------------------------- *)
+
+let test_json_order_independent () =
+  let a = lint "bad_r1.ml" and b = lint "bad_r2.ml" in
+  Alcotest.(check string)
+    "findings sorted before emission"
+    (Detlint.to_json ~files:2 (a @ b))
+    (Detlint.to_json ~files:2 (b @ a))
+
+let test_json_golden () =
+  let fs =
+    lint "bad_r1.ml"
+    @ lint ~relpath:"lib/stats/bad_r5.ml" "bad_r5.ml"
+    @ lint "good_waived.ml"
+  in
+  let json = Detlint.to_json ~files:3 fs in
+  let golden_path = "lint_fixtures/golden_detlint.json" in
+  let golden = read_file golden_path in
+  if json <> golden then begin
+    let dump = Filename.temp_file "detlint_golden_actual_" ".json" in
+    let oc = open_out dump in
+    output_string oc json;
+    close_out oc;
+    Alcotest.failf
+      "JSON report drifted from the golden fixture %s (actual written to \
+       %s); if the schema change is intentional, bump json_schema_version \
+       and refresh the fixture"
+      golden_path dump
+  end
+
 let suites =
   let tc name f = Alcotest.test_case name `Quick f in
   [
@@ -233,5 +434,18 @@ let suites =
         tc "parse errors are violations" test_parse_error_reported;
         tc "walker skips lint_fixtures" test_walker_skips_fixtures;
         tc "json report shape" test_json_report_shape;
+        tc "json report is walk-order independent" test_json_order_independent;
+        tc "json report matches the golden schema fixture" test_json_golden;
+      ] );
+    ( "detlint.taint",
+      [
+        tc "T1 chain spans two call edges" test_taint_chain_fires;
+        tc "expression waiver quarantines the leaf"
+          test_taint_waiver_quarantines;
+        tc "R7 descending member order" test_r7_fires_and_clean;
+        tc "R8 float fold vs absorb algebra" test_r8_fires_and_clean;
+        tc "R9 escaping ref vs chunk-local state" test_r9_fires_and_clean;
+        tc "stale waivers are detected" test_stale_waiver_detected;
+        tc "purity ledger is byte-stable" test_ledger_byte_stable;
       ] );
   ]

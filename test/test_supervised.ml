@@ -112,9 +112,28 @@ let test_cancel_at_chunk_boundary () =
 
 (* --- checkpoint store -------------------------------------------------- *)
 
+(* Every checkpoint store in these tests lives under a per-test temp root,
+   removed on teardown — `dune runtest` must leave no ckpt_test_* debris in
+   the repository root. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_root name f =
+  let dir = Filename.temp_dir "ckpt_test_" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () -> f (Filename.concat dir name))
+
 let test_checkpoint_roundtrip () =
+  with_temp_root "ckpt_test_roundtrip" @@ fun root ->
   let ck =
-    Sim.Checkpoint.create ~root:"ckpt_test_roundtrip" ~exp:"unit" ~seed:7
+    Sim.Checkpoint.create ~root ~exp:"unit" ~seed:7
       ~chunk_size:4 ~n:16
   in
   check_bool "missing chunk loads None" true
@@ -130,13 +149,12 @@ let test_checkpoint_roundtrip () =
 let test_checkpoint_key_mismatch () =
   (* Same directory, different key (n differs): a chunk written under one
      configuration is invisible to the other. *)
+  with_temp_root "ckpt_test_key" @@ fun root ->
   let ck16 =
-    Sim.Checkpoint.create ~root:"ckpt_test_key" ~exp:"e" ~seed:3 ~chunk_size:4
-      ~n:16
+    Sim.Checkpoint.create ~root ~exp:"e" ~seed:3 ~chunk_size:4 ~n:16
   in
   let ck24 =
-    Sim.Checkpoint.create ~root:"ckpt_test_key" ~exp:"e" ~seed:3 ~chunk_size:4
-      ~n:24
+    Sim.Checkpoint.create ~root ~exp:"e" ~seed:3 ~chunk_size:4 ~n:24
   in
   check_string "same directory" (Sim.Checkpoint.dir ck16)
     (Sim.Checkpoint.dir ck24);
@@ -148,8 +166,9 @@ let test_checkpoint_key_mismatch () =
   Sim.Checkpoint.clear ck16
 
 let test_checkpoint_sanitized_dir () =
+  with_temp_root "ckpt_test_san" @@ fun root ->
   let ck =
-    Sim.Checkpoint.create ~root:"ckpt_test_san" ~exp:"e5;n=24/gen=split"
+    Sim.Checkpoint.create ~root ~exp:"e5;n=24/gen=split"
       ~seed:1 ~chunk_size:8 ~n:10
   in
   let base = Filename.basename (Sim.Checkpoint.dir ck) in
@@ -165,9 +184,9 @@ let test_checkpoint_collision_distinct () =
   (* Regression: sanitization is lossy — "e1/a" and "e1 a" both sanitize
      to "e1_a" and used to share (and clobber) one store directory. The
      short raw-id hash in the directory name keeps them apart. *)
+  with_temp_root "ckpt_test_collide" @@ fun root ->
   let mk exp =
-    Sim.Checkpoint.create ~root:"ckpt_test_collide" ~exp ~seed:1 ~chunk_size:4
-      ~n:8
+    Sim.Checkpoint.create ~root ~exp ~seed:1 ~chunk_size:4 ~n:8
   in
   let ck_slash = mk "e1/a" and ck_space = mk "e1 a" in
   check_bool "lossy-sanitizing ids get distinct directories" true
@@ -186,9 +205,9 @@ let test_checkpoint_tmp_sweep () =
   (* Regression: a SIGKILL between [open_out_bin] and [Sys.rename] inside
      [store] leaves a stale [chunk-N.tmp]. Re-opening the store (a resume)
      sweeps them; real chunk files are untouched. *)
+  with_temp_root "ckpt_test_sweep" @@ fun root ->
   let mk () =
-    Sim.Checkpoint.create ~root:"ckpt_test_sweep" ~exp:"sweep" ~seed:2
-      ~chunk_size:4 ~n:8
+    Sim.Checkpoint.create ~root ~exp:"sweep" ~seed:2 ~chunk_size:4 ~n:8
   in
   let ck = mk () in
   Sim.Checkpoint.store ck ~chunk:1 [ 7 ];
@@ -278,8 +297,9 @@ let test_runner_checkpoint_resume_exact () =
     | Some s -> s
     | None -> Alcotest.fail "baseline run failed"
   in
+  with_temp_root "ckpt_test_resume" @@ fun ck_root ->
   let make_ck () =
-    Sim.Checkpoint.create ~root:"ckpt_test_resume" ~exp:"resume" ~seed
+    Sim.Checkpoint.create ~root:ck_root ~exp:"resume" ~seed
       ~chunk_size:4 ~n:trials
   in
   (* Interrupt after three whole chunks; their accumulators hit disk. *)
@@ -423,7 +443,8 @@ let test_manifest_shape () =
   let bad =
     Core.Supervise.run_experiment ctx ~id:"e2" (fun () -> failwith "boom-q")
   in
-  let path = "manifest_test_tmp/run_manifest.json" in
+  with_temp_root "manifest_test_tmp" @@ fun root ->
+  let path = Filename.concat root "run_manifest.json" in
   Core.Supervise.write_manifest ~path ~profile:"quick" ~seed:42 ~jobs:2
     ~resume:false ~deadline_s:(Some 30.0) [ ok; bad ];
   let ic = open_in path in

@@ -33,10 +33,18 @@
        is what guarantees timings can only reach diagnostic output, never
        an experiment table, a metrics registry, or an RNG.
 
-   Rules are heuristic and syntactic by design: they run on the parse tree,
-   with no type information, so they can be wired into the build with zero
-   compilation cost and report precise source locations.  False positives
-   are silenced with a visible, justified waiver attribute:
+   Rules R7 (cohort class-member order), R8 (float-fold ordering on merged
+   registries), R9 (mutable state escaping supervised chunk closures) and
+   T1 (interprocedural source->sink taint) live in the typed pass — see
+   [Detlint_callgraph] and [Detlint_taint]; this module only registers
+   their rule ids and documentation so waivers parse and reports render
+   uniformly.
+
+   The rules in this module are heuristic and syntactic by design: they
+   run on the parse tree, with no type information, so they can be wired
+   into the build with zero compilation cost and report precise source
+   locations.  False positives are silenced with a visible, justified
+   waiver attribute:
 
      (expr [@detlint.allow "R3: per-key sum is commutative"])
 
@@ -47,6 +55,18 @@
 open Ppxlib
 
 type severity = Violation | Waived
+
+(* One well-formed [@detlint.allow] attribute, keyed by the attribute's own
+   source location. [ws_used] flips when the waiver suppresses a finding;
+   sites left unused by both the syntactic and the typed pass are stale
+   (rule W1, audited by main.ml under [--check-waivers]). *)
+type waiver_site = {
+  ws_rule : string;
+  ws_file : string;
+  ws_line : int;
+  ws_col : int;
+  mutable ws_used : bool;
+}
 
 type finding = {
   rule : string;
@@ -59,7 +79,14 @@ type finding = {
   justification : string option;
 }
 
-let rule_ids = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
+(* Rules a [@detlint.allow] may name. R7-R9 and T1 are enforced by the
+   typed taint pass (detlint_taint.ml); their waivers parse here so the
+   syntactic pass neither W0s them nor suppresses anything with them. *)
+let rule_ids =
+  [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "T1" ]
+
+(* Everything that can appear as a finding's [rule], for the JSON report. *)
+let all_rule_ids = rule_ids @ [ "W0"; "W1"; "P0" ]
 
 let rule_doc = function
   | "R1" -> "global Random outside lib/prng"
@@ -72,7 +99,19 @@ let rule_doc = function
   | "R6" ->
       "direct Obs.Clock use outside lib/obs and bench (the diagnostic \
        timing quarantine)"
+  | "R7" ->
+      "member-order-sensitive control flow inside the cohort-op closure \
+       (typed taint pass)"
+  | "R8" ->
+      "order-sensitive float fold on a merge-flow path (typed taint pass)"
+  | "R9" ->
+      "mutable state escaping the supervised chunk boundary (typed taint \
+       pass)"
+  | "T1" ->
+      "nondeterminism source reaching a protected sink path (typed taint \
+       pass)"
   | "W0" -> "malformed detlint.allow waiver"
+  | "W1" -> "stale detlint.allow waiver (suppresses nothing)"
   | "P0" -> "parse error"
   | _ -> "unknown rule"
 
@@ -232,7 +271,8 @@ let parse_waiver (attr : attribute) =
         match (List.mem rule rule_ids, rest) with
         | false, _ ->
             Malformed
-              (Printf.sprintf "unknown rule %S (expected one of R1..R6)" rule)
+              (Printf.sprintf "unknown rule %S (expected one of R1..R9, T1)"
+                 rule)
         | true, "" ->
             Malformed
               (Printf.sprintf
@@ -339,7 +379,8 @@ let collect_mutable_globals str =
 (* Main lint pass                                                      *)
 (* ------------------------------------------------------------------ *)
 
-class linter ~relpath ~mutable_globals ~(emit : finding -> unit) =
+class linter ~relpath ~mutable_globals ~(emit : finding -> unit)
+  ~(register_waiver : waiver_site -> unit) =
   object (self)
     inherit Ast_traverse.iter as super
 
@@ -352,13 +393,14 @@ class linter ~relpath ~mutable_globals ~(emit : finding -> unit) =
     val mutable par_depth = 0
 
     (* Active [@detlint.allow] waivers, innermost last. *)
-    val mutable waivers : (string * string) list = []
+    val mutable waivers : (string * string * waiver_site) list = []
 
     method private report ~rule ~loc ~message ~hint =
       let pos = loc.loc_start in
       let line = pos.pos_lnum and col = pos.pos_cnum - pos.pos_bol in
-      match List.find_opt (fun (r, _) -> r = rule) waivers with
-      | Some (_, just) ->
+      match List.find_opt (fun (r, _, _) -> r = rule) waivers with
+      | Some (_, just, site) ->
+          site.ws_used <- true;
           emit
             {
               rule; file = relpath; line; col; message; hint;
@@ -374,7 +416,19 @@ class linter ~relpath ~mutable_globals ~(emit : finding -> unit) =
     method private add_waiver ~loc attr =
       match parse_waiver attr with
       | Not_a_waiver -> ()
-      | Waiver (rule, just) -> waivers <- (rule, just) :: waivers
+      | Waiver (rule, just) ->
+          let apos = attr.attr_loc.loc_start in
+          let site =
+            {
+              ws_rule = rule;
+              ws_file = relpath;
+              ws_line = apos.pos_lnum;
+              ws_col = apos.pos_cnum - apos.pos_bol;
+              ws_used = false;
+            }
+          in
+          register_waiver site;
+          waivers <- (rule, just, site) :: waivers
       | Malformed why ->
           let pos = loc.loc_start in
           emit
@@ -593,31 +647,42 @@ class linter ~relpath ~mutable_globals ~(emit : finding -> unit) =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let lint_structure ~relpath str =
+let lint_structure_audit ~relpath str =
   let findings = ref [] in
+  let sites = ref [] in
   let mutable_globals = collect_mutable_globals str in
-  let it = new linter ~relpath ~mutable_globals ~emit:(fun f -> findings := f :: !findings) in
+  let it =
+    new linter
+      ~relpath ~mutable_globals
+      ~emit:(fun f -> findings := f :: !findings)
+      ~register_waiver:(fun s -> sites := s :: !sites)
+  in
   it#structure str;
-  List.rev !findings
+  (List.rev !findings, List.rev !sites)
 
-let lint_source ~relpath source =
+let lint_structure ~relpath str = fst (lint_structure_audit ~relpath str)
+
+let lint_source_audit ~relpath source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf relpath;
   match Parse.implementation lexbuf with
-  | str -> lint_structure ~relpath str
+  | str -> lint_structure_audit ~relpath str
   | exception exn ->
-      [
-        {
-          rule = "P0";
-          file = relpath;
-          line = 1;
-          col = 0;
-          message = "cannot parse: " ^ Printexc.to_string exn;
-          hint = "detlint only lints code that compiles";
-          severity = Violation;
-          justification = None;
-        };
-      ]
+      ( [
+          {
+            rule = "P0";
+            file = relpath;
+            line = 1;
+            col = 0;
+            message = "cannot parse: " ^ Printexc.to_string exn;
+            hint = "detlint only lints code that compiles";
+            severity = Violation;
+            justification = None;
+          };
+        ],
+        [] )
+
+let lint_source ~relpath source = fst (lint_source_audit ~relpath source)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -625,9 +690,11 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file ?relpath path =
+let lint_file_audit ?relpath path =
   let relpath = Option.value relpath ~default:path in
-  lint_source ~relpath (read_file path)
+  lint_source_audit ~relpath (read_file path)
+
+let lint_file ?relpath path = fst (lint_file_audit ?relpath path)
 
 (* Deterministic recursive walk for [.ml] files; [_build], [.git] and
    [lint_fixtures] (the deliberately-bad test corpus) are skipped. *)
@@ -644,9 +711,20 @@ let rec walk_ml_files acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let lint_paths paths =
+let lint_paths_audit paths =
   let files = List.fold_left walk_ml_files [] paths |> List.sort String.compare in
-  (files, List.concat_map (fun f -> lint_file f) files)
+  let findings, sites =
+    List.fold_left
+      (fun (fs, ss) f ->
+        let fs', ss' = lint_file_audit f in
+        (fs' :: fs, ss' :: ss))
+      ([], []) files
+  in
+  (files, List.concat (List.rev findings), List.concat (List.rev sites))
+
+let lint_paths paths =
+  let files, findings, _ = lint_paths_audit paths in
+  (files, findings)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -677,7 +755,23 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Canonical finding order: report position first, rule as a tie-break.
+   Sorting before emission makes results/detlint.json independent of
+   directory-walk and traversal order. *)
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let json_schema_version = 2
+
 let to_json ~files findings =
+  let findings = List.stable_sort compare_findings findings in
   let violations =
     List.length (List.filter (fun f -> f.severity = Violation) findings)
   in
@@ -685,13 +779,17 @@ let to_json ~files findings =
     List.length (List.filter (fun f -> f.severity = Waived) findings)
   in
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\n  \"tool\": \"detlint\",\n  \"rules\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\n  \"tool\": \"detlint\",\n  \"schema_version\": %d,\n  \
+        \"rules\": {\n"
+       json_schema_version);
   List.iteri
     (fun i r ->
       Buffer.add_string b
         (Printf.sprintf "    \"%s\": \"%s\"%s\n" r (json_escape (rule_doc r))
-           (if i = List.length rule_ids - 1 then "" else ",")))
-    rule_ids;
+           (if i = List.length all_rule_ids - 1 then "" else ",")))
+    all_rule_ids;
   Buffer.add_string b
     (Printf.sprintf
        "  },\n  \"summary\": { \"files\": %d, \"violations\": %d, \"waived\": \
