@@ -146,6 +146,132 @@ let cohort_smoke () =
   done;
   print_endline "bench-smoke: cohort engine byte-identical to concrete"
 
+(* Chaos replay: a pinned survivable fault plan — three faults across
+   three sites, one of them a torn checkpoint write that the retry must
+   quarantine and recompute — replayed at jobs 1 and jobs 3. The whole
+   point of the fault harness is that recovery is byte-invisible: the
+   summary, the metrics JSON, the event JSONL, and the supervisor's
+   manifest-bound metrics digest must all equal the fault-free run's. An
+   every-hit arm then exhausts the retry budget on purpose and must land
+   as a structured terminal failure carrying the injected fault. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let chaos_pinned_plan = "body@1#2:raise,store@2#0:torn,sink@3#5:raise"
+
+let chaos_smoke () =
+  let trials = 40 and seed = 17 and n = 8 in
+  let plan_exn s =
+    match Sim.Fault.plan_of_string s with
+    | Ok p -> p
+    | Error e -> failwith ("bench-smoke: bad pinned plan: " ^ e)
+  in
+  let plan = plan_exn chaos_pinned_plan in
+  let root = Filename.temp_dir "bench_chaos_" "" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let run ?fault ?(retries = 0) ~tag ~jobs () =
+    let capture = Obs.Capture.create ~events:true () in
+    let checkpoint =
+      Sim.Checkpoint.create ~root ~exp:tag ~seed ~chunk_size:8 ~n:trials
+    in
+    let r =
+      Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs ~chunk_size:8
+        ~checkpoint ~capture ?fault ~retries ~trials ~seed
+        ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+        ~t:2 (Core.Synran.protocol n)
+        (fun () -> Sim.Adversary.null)
+    in
+    (r, Obs.Capture.metrics_json capture, Obs.Capture.events_jsonl capture)
+  in
+  let summary_fields (s : Sim.Runner.summary) =
+    ( s.Sim.Runner.trials,
+      Stats.Welford.mean s.Sim.Runner.rounds,
+      Stats.Histogram.bins s.Sim.Runner.rounds_hist,
+      (s.Sim.Runner.decided_zero, s.Sim.Runner.decided_one) )
+  in
+  let rb, mb, eb = run ~tag:"base" ~jobs:1 () in
+  check "chaos: fault-free baseline is clean"
+    (rb.Sim.Runner.failures = [] && rb.Sim.Runner.partial <> None);
+  List.iter
+    (fun jobs ->
+      let tag = Printf.sprintf "chaos-j%d" jobs in
+      let r, m, e = run ~fault:plan ~retries:2 ~tag ~jobs () in
+      check
+        (Printf.sprintf "chaos: plan survived the retry budget at jobs %d"
+           jobs)
+        (r.Sim.Runner.failures = []);
+      check
+        (Printf.sprintf "chaos: all three faults fired at jobs %d" jobs)
+        (List.length r.Sim.Runner.retried = 3);
+      check
+        (Printf.sprintf "chaos: summary byte-identical at jobs %d" jobs)
+        (Option.map summary_fields r.Sim.Runner.partial
+        = Option.map summary_fields rb.Sim.Runner.partial);
+      check
+        (Printf.sprintf "chaos: metrics JSON byte-identical at jobs %d" jobs)
+        (m = mb);
+      check
+        (Printf.sprintf "chaos: event JSONL byte-identical at jobs %d" jobs)
+        (e = eb))
+    [ 1; 3 ];
+  (* The manifest-bound view: run the same workload under Core.Supervise
+     with and without the plan; the per-experiment metrics registry (the
+     manifest's metrics_digest) must not change, while the retries land
+     in the manifest-only chunk_retries counter. *)
+  let sup_run ?fault ~retries ~tag () =
+    let ctx = Core.Supervise.create ?fault ~retries () in
+    Core.Supervise.run_experiment ctx ~id:"chaos" (fun () ->
+        let checkpoint =
+          Sim.Checkpoint.create ~root ~exp:tag ~seed ~chunk_size:8 ~n:trials
+        in
+        (* The sink-site arm only fires when events actually flow, so the
+           supervised leg captures too. *)
+        let capture = Obs.Capture.create ~events:true () in
+        ignore
+          (Core.Supervise.commit (Some ctx)
+             (Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs:1
+                ~chunk_size:8 ~checkpoint ~capture
+                ?retries:(Core.Supervise.retries (Some ctx))
+                ?fault:(Core.Supervise.fault_plan (Some ctx))
+                ~trials ~seed
+                ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+                ~t:2 (Core.Synran.protocol n)
+                (fun () -> Sim.Adversary.null)));
+        Stats.Table.create ~title:"chaos" ~columns:[ "c" ])
+  in
+  let r_free = sup_run ~retries:0 ~tag:"sup-base" () in
+  let r_chaos = sup_run ~fault:plan ~retries:2 ~tag:"sup-chaos" () in
+  check "chaos: supervised run recovered"
+    (not (Core.Supervise.failed r_chaos));
+  check "chaos: manifest counts the retried passes"
+    (r_chaos.Core.Supervise.chunk_retries = 3);
+  check "chaos: manifest metrics_digest identical to fault-free"
+    (Obs.Metrics.digest r_free.Core.Supervise.metrics
+    = Obs.Metrics.digest r_chaos.Core.Supervise.metrics);
+  (* Budget exhaustion is loud, structured, and keeps the original
+     exception. *)
+  let rx, _, _ =
+    run ~fault:(plan_exn "body@1#*:raise") ~retries:1 ~tag:"exhaust" ~jobs:1
+      ()
+  in
+  check "chaos: exhausted budget is a terminal failure"
+    (match rx.Sim.Runner.failures with
+    | [ f ] -> (
+        f.Sim.Parallel.attempt = 1
+        && match f.Sim.Parallel.exn with
+           | Sim.Fault.Injected { site = Sim.Fault.Chunk_body; _ } -> true
+           | _ -> false)
+    | _ -> false);
+  print_endline
+    "bench-smoke: pinned chaos plan byte-invisible at jobs 1 and 3; \
+     exhausted budget fails loudly"
+
 let () =
   let rules = Core.Onesided.paper in
   for seed = 1 to 5 do
@@ -169,6 +295,7 @@ let () =
   done;
   cohort_smoke ();
   obs_smoke ();
+  chaos_smoke ();
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d divergence(s)\n" !failures;
     exit 1

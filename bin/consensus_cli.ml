@@ -46,6 +46,63 @@ let chunk_size_arg =
            trial count and JOBS). Results are bit-identical for every \
            value.")
 
+let nonneg_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be >= 0 (got %d)" what v))
+    | None ->
+        Error (`Msg (Printf.sprintf "%s must be an integer (got %S)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (nonneg_int "RETRIES") 0
+    & info [ "retries" ] ~docv:"RETRIES"
+        ~doc:
+          "Per-chunk retry budget for the supervised trial loops: a failed \
+           chunk is re-run from a fresh accumulator up to RETRIES extra \
+           times before it counts as a failure. Safe because each trial's \
+           randomness is a pure function of (seed, index), so a re-run \
+           chunk is byte-identical.")
+
+(* --fault-plan parses at the command line so a typo fails with the
+   grammar error instead of deep inside a run. *)
+let fault_plan_conv =
+  let parse s =
+    match Sim.Fault.plan_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt p -> Format.pp_print_string fmt (Sim.Fault.plan_to_string p) )
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some fault_plan_conv) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault-injection plan: comma-joined arms \
+           site@scope#hit:kind with sites body|store|load|merge|sink|manifest, \
+           scope a chunk index or 'run', hit an occurrence index or '*', and \
+           kinds raise|sys_error|torn|bitflip — e.g. \
+           'body@1#2:raise,store@2#0:torn'. Replays exactly: fault placement \
+           depends only on the plan and the chunk geometry, never on JOBS.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Draw a survivable fault plan deterministically from this seed \
+           (printed, so it can be replayed via --fault-plan). Ignored when \
+           --fault-plan is given.")
+
 let engine_arg =
   Arg.(
     value
@@ -204,10 +261,51 @@ let print_summary name (s : Sim.Runner.summary) =
 
 let run_cmd =
   let run n t trials seed jobs chunk_size engine rules adv_name proto_name
-      inputs metrics_out events_out =
+      inputs metrics_out events_out retries fault_plan fault_seed =
     let t = Option.value t ~default:(n - 1) in
     let gen = gen_of_inputs inputs ~n in
     let capture = capture_for ~metrics_out ~events_out in
+    let fault =
+      match (fault_plan, fault_seed) with
+      | (Some _ as p), _ -> p
+      | None, Some fs ->
+          let cs =
+            Option.value chunk_size ~default:Sim.Parallel.default_chunk_size
+          in
+          let p = Sim.Fault.random_plan ~seed:fs ~n:trials ~chunk_size:cs in
+          Printf.printf "fault plan (seed %d): %s\n" fs
+            (Sim.Fault.plan_to_string p);
+          Some p
+      | None, None -> None
+    in
+    (* The legacy loop stays the zero-overhead default; any fault or
+       retry option routes through the supervised fold, whose successful
+       summaries are byte-identical to the legacy ones. *)
+    let finish_report (r : Sim.Runner.report) =
+      (match r.Sim.Runner.retried with
+      | [] -> ()
+      | rs ->
+          Printf.printf "chunk retries (%d):\n" (List.length rs);
+          List.iter
+            (fun f -> Printf.printf "  %s\n" (Sim.Parallel.pp_chunk_failed f))
+            rs);
+      match r.Sim.Runner.failures with
+      | [] -> (
+          match r.Sim.Runner.partial with
+          | Some s -> s
+          | None ->
+              prerr_endline "no trials completed";
+              exit 1)
+      | fs ->
+          List.iter
+            (fun f ->
+              prerr_endline ("chunk failed: " ^ Sim.Parallel.pp_chunk_failed f))
+            fs;
+          Printf.eprintf "%d/%d trials completed before failure\n"
+            r.Sim.Runner.completed_trials r.Sim.Runner.total_trials;
+          exit 1
+    in
+    let supervised = retries > 0 || Option.is_some fault in
     (match proto_name with
     | "synran" | "leader" ->
         let make_adversary () = adversary_of_name adv_name ~rules ~n ~t ~seed in
@@ -235,9 +333,15 @@ let run_cmd =
         in
         let protocol = Core.Synran.protocol ~rules ~coin n in
         let s =
-          Sim.Runner.run_trials ~max_rounds:2000 ~jobs ?chunk_size ?capture
-            ~engine ?cohort_adversary ~trials ~seed ~gen_inputs:gen ~t protocol
-            make_adversary
+          if supervised then
+            finish_report
+              (Sim.Runner.run_trials_supervised ~max_rounds:2000 ~jobs
+                 ?chunk_size ?capture ~engine ?cohort_adversary ~retries ?fault
+                 ~trials ~seed ~gen_inputs:gen ~t protocol make_adversary)
+          else
+            Sim.Runner.run_trials ~max_rounds:2000 ~jobs ?chunk_size ?capture
+              ~engine ?cohort_adversary ~trials ~seed ~gen_inputs:gen ~t
+              protocol make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
@@ -254,8 +358,15 @@ let run_cmd =
         let make_adversary () = generic_adversary_of_name adv_name ~n ~t ~seed in
         let protocol = Baselines.Floodset.protocol ~rounds:(t + 1) () in
         let s =
-          Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ?chunk_size ?capture
-            ~engine ~trials ~seed ~gen_inputs:gen ~t protocol make_adversary
+          if supervised then
+            finish_report
+              (Sim.Runner.run_trials_supervised ~max_rounds:(t + 2) ~jobs
+                 ?chunk_size ?capture ~engine ~retries ?fault ~trials ~seed
+                 ~gen_inputs:gen ~t protocol make_adversary)
+          else
+            Sim.Runner.run_trials ~max_rounds:(t + 2) ~jobs ?chunk_size
+              ?capture ~engine ~trials ~seed ~gen_inputs:gen ~t protocol
+              make_adversary
         in
         print_summary
           (Printf.sprintf "%s vs %s (n=%d t=%d)" protocol.Sim.Protocol.name
@@ -267,7 +378,8 @@ let run_cmd =
     Term.(
       const run $ n_arg $ t_arg $ trials_arg $ seed_arg $ jobs_arg
       $ chunk_size_arg $ engine_arg $ rules_arg $ adversary_arg $ protocol_arg
-      $ inputs_arg $ metrics_out_arg $ events_out_arg)
+      $ inputs_arg $ metrics_out_arg $ events_out_arg $ retries_arg
+      $ fault_plan_arg $ fault_seed_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run many trials of a protocol under an adversary")
     term
@@ -339,7 +451,7 @@ let coinflip_cmd =
 
 let experiments_cmd =
   let run profile seed jobs which csv resume deadline_s metrics_out events_out
-      =
+      retries fault_plan =
     Printexc.record_backtrace true;
     let profile =
       Option.value (Core.Experiments.profile_of_string profile)
@@ -371,7 +483,7 @@ let experiments_cmd =
        experiment never loses the others. *)
     let ctx =
       Core.Supervise.create ?deadline_s ~checkpoints:"results/checkpoints" ~resume
-        ()
+        ~retries ?fault:fault_plan ()
     in
     let results =
       List.map
@@ -400,8 +512,18 @@ let experiments_cmd =
           r)
         drivers
     in
-    Core.Supervise.write_manifest ~path:"results/run_manifest.json"
-      ~profile:profile_label ~seed ~jobs ~resume ~deadline_s results;
+    (* Plans can arm the manifest site itself; an injector with zero
+       chunk slots still carries the run-scope slot the site uses. *)
+    let manifest_fault =
+      Option.map (fun p -> Core.Fault.injector p) fault_plan
+    in
+    (try
+       Core.Supervise.write_manifest ?fault:manifest_fault
+         ~path:"results/run_manifest.json" ~profile:profile_label ~seed ~jobs
+         ~resume ~deadline_s results
+     with e ->
+       prerr_endline ("run manifest write failed: " ^ Printexc.to_string e);
+       Stdlib.exit 1);
     (* Run-level observability exports: the per-experiment supervision
        registries merged under "<id>." prefixes, and the supervisor's
        watchdog/failure event stream. *)
@@ -465,7 +587,8 @@ let experiments_cmd =
   let term =
     Term.(
       const run $ profile_arg $ seed_arg $ jobs_arg $ which_arg $ csv_arg
-      $ resume_arg $ deadline_arg $ metrics_out_arg $ events_out_arg)
+      $ resume_arg $ deadline_arg $ metrics_out_arg $ events_out_arg
+      $ retries_arg $ fault_plan_arg)
   in
   Cmd.v
     (Cmd.info "experiments"

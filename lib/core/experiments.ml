@@ -177,8 +177,9 @@ let supervised_summary ?(max_rounds = 2000) ?jobs ?sup ?(gen = `Random) ~exp
   in
   let r =
     Sim.Runner.run_trials_supervised ~max_rounds ?jobs ~chunk_size
-      ?cancel:(Supervise.cancel sup) ?checkpoint ~trials ~seed ~gen_inputs ~t
-      protocol make_adversary
+      ?cancel:(Supervise.cancel sup) ?checkpoint
+      ?retries:(Supervise.retries sup) ?fault:(Supervise.fault_plan sup)
+      ~trials ~seed ~gen_inputs ~t protocol make_adversary
   in
   Supervise.commit sup r
 

@@ -1,0 +1,6 @@
+(* The fault harness lives in [Sim.Fault] so the sim-layer modules it
+   instruments (Parallel, Checkpoint, Runner) can use it without a
+   dependency cycle; core re-exports it under the supervision-side name.
+   [Core.Fault] and [Sim.Fault] are the same module — plans, injectors,
+   and the [Injected] exception are interchangeable. *)
+include Sim.Fault

@@ -1,0 +1,13 @@
+(** The deterministic fault-injection harness, re-exported.
+
+    [Core.Fault] {e is} {!Sim.Fault} (types, exception, and values are
+    shared aliases): the engine lives in the sim layer so
+    {!Sim.Parallel}, {!Sim.Checkpoint}, and {!Sim.Runner} can trip fault
+    sites without a dependency cycle, while supervision code
+    ({!Supervise}, the CLI) addresses it from here. See {!Sim.Fault} for
+    the full contract: sites, the plan grammar, seeded plan generation,
+    and the hit-counting injector. *)
+
+include module type of struct
+  include Sim.Fault
+end

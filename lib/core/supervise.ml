@@ -22,6 +22,7 @@ type result = {
   elapsed_s : float;
   chunks_done : int;
   chunks_resumed : int;
+  chunk_retries : int;
   completed_trials : int;
   total_trials : int;
   metrics : Obs.Metrics.t;
@@ -31,27 +32,37 @@ type ctx = {
   deadline_s : float option;
   ckpt_root : string option;
   resume : bool;
+  retry_budget : int option;
+  fault : Sim.Fault.plan option;
   mutable deadline_at : float option;
   mutable table : Stats.Table.t option;
   mutable chunks_done : int;
   mutable chunks_resumed : int;
+  mutable chunk_retries : int;
   mutable completed_trials : int;
   mutable total_trials : int;
   mutable last_failure : Sim.Parallel.chunk_failed option;
   obs_events : Obs.Recorder.t;
-      (* Run-level supervision events (watchdog fires, chunk failures),
-         accumulated across experiments for [--events-out]. *)
+      (* Run-level supervision events (watchdog fires, chunk retries and
+         terminal chunk failures), accumulated across experiments for
+         [--events-out]. *)
 }
 
-let create ?deadline_s ?checkpoints ?(resume = false) () =
+let create ?deadline_s ?checkpoints ?(resume = false) ?retries ?fault () =
+  (match retries with
+  | Some r when r < 0 -> invalid_arg "Supervise.create: retries"
+  | _ -> ());
   {
     deadline_s;
     ckpt_root = checkpoints;
     resume;
+    retry_budget = retries;
+    fault;
     deadline_at = None;
     table = None;
     chunks_done = 0;
     chunks_resumed = 0;
+    chunk_retries = 0;
     completed_trials = 0;
     total_trials = 0;
     last_failure = None;
@@ -60,12 +71,41 @@ let create ?deadline_s ?checkpoints ?(resume = false) () =
 
 let events ctx = Obs.Recorder.events ctx.obs_events
 
-let note_chunk_failed c (f : Sim.Parallel.chunk_failed) =
-  c.last_failure <- Some f;
+let retries = function None -> None | Some c -> c.retry_budget
+
+let fault_plan = function None -> None | Some c -> c.fault
+
+(* A retried (and by construction recovered) chunk attempt: one
+   Chunk_retry event per failed pass, plus the per-experiment retry
+   count. The count stays out of the metrics registry on purpose — a
+   survivable chaos run must keep the manifest's metrics_digest
+   byte-identical to the fault-free run. *)
+let note_chunk_retried c (f : Sim.Parallel.chunk_failed) =
+  c.chunk_retries <- c.chunk_retries + 1;
   Obs.Recorder.push c.obs_events
     (Obs.Event.Chunk_retry
        {
          chunk = f.Sim.Parallel.chunk;
+         attempt = f.Sim.Parallel.attempt;
+         trial = f.Sim.Parallel.trial;
+         error = Printexc.to_string f.Sim.Parallel.exn;
+       })
+
+let note_retried sup (retried : Sim.Parallel.chunk_failed list) =
+  match sup with
+  | None -> ()
+  | Some c -> List.iter (note_chunk_retried c) retried
+
+(* A chunk whose retry budget is exhausted: the distinct terminal
+   event. [attempts] counts every failed pass, so a budget of r lands
+   attempts = r + 1. *)
+let note_chunk_failed c (f : Sim.Parallel.chunk_failed) =
+  c.last_failure <- Some f;
+  Obs.Recorder.push c.obs_events
+    (Obs.Event.Chunk_failed
+       {
+         chunk = f.Sim.Parallel.chunk;
+         attempts = f.Sim.Parallel.attempt + 1;
          trial = f.Sim.Parallel.trial;
          error = Printexc.to_string f.Sim.Parallel.exn;
        })
@@ -121,6 +161,7 @@ let note_fold sup (s : 'a Sim.Parallel.supervised) =
 
 let commit_fold sup ?checkpoint (s : 'a Sim.Parallel.supervised) =
   note_fold sup s;
+  note_retried sup s.Sim.Parallel.retried;
   let complete =
     s.Sim.Parallel.chunks_done = s.Sim.Parallel.chunks_total
     && s.Sim.Parallel.failures = []
@@ -144,6 +185,7 @@ let commit sup (r : Sim.Runner.report) =
       c.chunks_resumed <- c.chunks_resumed + r.Sim.Runner.chunks_resumed;
       c.completed_trials <- c.completed_trials + r.Sim.Runner.completed_trials;
       c.total_trials <- c.total_trials + r.Sim.Runner.total_trials);
+  note_retried sup r.Sim.Runner.retried;
   match r.Sim.Runner.failures with
   | f :: _ ->
       (match sup with Some c -> note_chunk_failed c f | None -> ());
@@ -156,6 +198,7 @@ let run_experiment ctx ~id f =
   ctx.table <- None;
   ctx.chunks_done <- 0;
   ctx.chunks_resumed <- 0;
+  ctx.chunk_retries <- 0;
   ctx.completed_trials <- 0;
   ctx.total_trials <- 0;
   ctx.last_failure <- None;
@@ -163,9 +206,11 @@ let run_experiment ctx ~id f =
   let t0 = now () in
   let finish table status =
     (* The per-experiment registry deliberately excludes wall-clock
-       quantities ([elapsed_s] stays manifest-only): every metric here is
-       a function of the experiment's deterministic progress counters, so
-       the manifest's metrics_digest is [--jobs]-independent. *)
+       quantities ([elapsed_s] stays manifest-only) and the retry count
+       ([chunk_retries] stays manifest-only too): every metric here is a
+       function of the experiment's deterministic progress counters, so
+       the manifest's metrics_digest is [--jobs]-independent — and a
+       survivable chaos run digests identically to the fault-free run. *)
     let metrics = Obs.Metrics.create () in
     Obs.Metrics.incr metrics ~by:ctx.chunks_done "supervise.chunks_done";
     Obs.Metrics.incr metrics ~by:ctx.chunks_resumed "supervise.chunks_resumed";
@@ -183,6 +228,7 @@ let run_experiment ctx ~id f =
       elapsed_s = now () -. t0;
       chunks_done = ctx.chunks_done;
       chunks_resumed = ctx.chunks_resumed;
+      chunk_retries = ctx.chunk_retries;
       completed_trials = ctx.completed_trials;
       total_trials = ctx.total_trials;
       metrics;
@@ -212,10 +258,13 @@ let any_failed results = List.exists failed results
 let status_line r =
   match r.status with
   | Completed ->
-      Printf.sprintf "%s: completed in %.1f s (%d chunks%s)" r.id r.elapsed_s
+      Printf.sprintf "%s: completed in %.1f s (%d chunks%s%s)" r.id r.elapsed_s
         r.chunks_done
         (if r.chunks_resumed > 0 then
            Printf.sprintf ", %d resumed" r.chunks_resumed
+         else "")
+        (if r.chunk_retries > 0 then
+           Printf.sprintf ", %d retried" r.chunk_retries
          else "")
   | Timed_out ->
       (* Inline folds that track no trial counters (E1's game loops) leave
@@ -261,7 +310,9 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_manifest ~path ~profile ~seed ~jobs ~resume ~deadline_s results =
+let write_manifest ?fault ~path ~profile ~seed ~jobs ~resume ~deadline_s
+    results =
+  Sim.Fault.trip fault Sim.Fault.Manifest_write ~scope:Sim.Fault.run_scope;
   let dir = Filename.dirname path in
   if dir <> "" && dir <> "." && not (Sys.file_exists dir) then
     Sys.mkdir dir 0o755;
@@ -295,12 +346,13 @@ let write_manifest ~path ~profile ~seed ~jobs ~resume ~deadline_s results =
           Printf.fprintf oc
             "    { \"id\": \"%s\", \"status\": \"%s\", \"elapsed_s\": %.3f, \
              \"chunks_done\": %d, \"chunks_resumed\": %d, \
-             \"completed_trials\": %d, \"total_trials\": %d, \
-             \"metrics_digest\": \"%s\", \"failure\": %s }%s\n"
+             \"chunk_retries\": %d, \"completed_trials\": %d, \
+             \"total_trials\": %d, \"metrics_digest\": \"%s\", \"failure\": \
+             %s }%s\n"
             (json_escape r.id)
             (status_string r.status)
-            r.elapsed_s r.chunks_done r.chunks_resumed r.completed_trials
-            r.total_trials
+            r.elapsed_s r.chunks_done r.chunks_resumed r.chunk_retries
+            r.completed_trials r.total_trials
             (Obs.Metrics.digest r.metrics)
             failure
             (if i = last then "" else ","))

@@ -43,6 +43,11 @@ type result = {
   elapsed_s : float;  (** Wall-clock, for the manifest only. *)
   chunks_done : int;  (** Across every fold of the experiment. *)
   chunks_resumed : int;  (** Chunks satisfied from checkpoint files. *)
+  chunk_retries : int;
+      (** Failed chunk attempts re-run (and recovered) under the retry
+          budget. Manifest-only, like [elapsed_s]: deliberately excluded
+          from [metrics], so a survivable chaos run keeps the manifest's
+          [metrics_digest] byte-identical to the fault-free run. *)
   completed_trials : int;
       (** Trials folded in by {!Sim.Runner}-based loops (the inline E5/E8
           folds report chunks only). *)
@@ -57,12 +62,30 @@ type result = {
 }
 
 val create :
-  ?deadline_s:float -> ?checkpoints:string -> ?resume:bool -> unit -> ctx
+  ?deadline_s:float ->
+  ?checkpoints:string ->
+  ?resume:bool ->
+  ?retries:int ->
+  ?fault:Sim.Fault.plan ->
+  unit ->
+  ctx
 (** [deadline_s] arms the per-experiment watchdog (off by default);
     [checkpoints] is the checkpoint root directory (e.g.
     ["results/checkpoints"]; absent = checkpointing off); [resume]
     (default [false]) consumes existing chunk files instead of clearing
-    them. *)
+    them; [retries] is the per-chunk retry budget handed to the
+    supervised runner folds via {!retries} (absent = no retries);
+    [fault] is a deterministic {!Sim.Fault} plan replayed against every
+    runner fold via {!fault_plan} (each fold builds its own injector, so
+    hit counters are per fold). *)
+
+val retries : ctx option -> int option
+(** The configured retry budget, for threading into
+    {!Sim.Runner.run_trials_supervised}'s [?retries]. *)
+
+val fault_plan : ctx option -> Sim.Fault.plan option
+(** The configured fault plan, for threading into
+    {!Sim.Runner.run_trials_supervised}'s [?fault]. *)
 
 val run_experiment : ctx -> id:string -> (unit -> Stats.Table.t) -> result
 (** Run one experiment under supervision: arms the watchdog, zeroes the
@@ -73,8 +96,12 @@ val run_experiment : ctx -> id:string -> (unit -> Stats.Table.t) -> result
 val events : ctx -> Obs.Event.t list
 (** The run-level supervision event stream, in emission order: one
     {!Obs.Event.Watchdog} per fired deadline, one
-    {!Obs.Event.Chunk_retry} per recorded chunk failure — what
-    [--events-out] appends after the per-experiment streams. *)
+    {!Obs.Event.Chunk_retry} per failed chunk attempt that was re-run
+    under the retry budget (carrying the attempt number — the chunk
+    itself recovered), and one {!Obs.Event.Chunk_failed} per chunk whose
+    budget was exhausted (the terminal failure, with its total attempt
+    count) — what [--events-out] appends after the per-experiment
+    streams. *)
 
 val merged_metrics : result list -> Obs.Metrics.t
 (** One run-level registry: each experiment's {!result.metrics} prefixed
@@ -143,6 +170,7 @@ val status_line : result -> string
     trials completed)"]. *)
 
 val write_manifest :
+  ?fault:Sim.Fault.injector ->
   path:string ->
   profile:string ->
   seed:int ->
@@ -153,7 +181,9 @@ val write_manifest :
   unit
 (** Write the machine-readable run manifest (schema [run_manifest/v1]):
     run parameters, one record per experiment — id, status
-    ([completed|failed|timed_out]), elapsed seconds, chunk/trial progress,
-    the experiment's observability fingerprint ([metrics_digest], the
-    {!Obs.Metrics.digest} of {!result.metrics}), failure message — and
-    the failed-experiment count. *)
+    ([completed|failed|timed_out]), elapsed seconds, chunk/trial/retry
+    progress, the experiment's observability fingerprint
+    ([metrics_digest], the {!Obs.Metrics.digest} of {!result.metrics}),
+    failure message — and the failed-experiment count. [fault] trips the
+    {!Sim.Fault.Manifest_write} site on entry (run-scoped, not retried:
+    an armed fault here fails the manifest write itself). *)

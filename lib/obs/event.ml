@@ -26,7 +26,8 @@ type t =
       kills : int;
     }
   | Checkpoint of { chunk : int; resumed : bool }
-  | Chunk_retry of { chunk : int; trial : int; error : string }
+  | Chunk_retry of { chunk : int; attempt : int; trial : int; error : string }
+  | Chunk_failed of { chunk : int; attempts : int; trial : int; error : string }
   | Watchdog of { experiment : string }
 
 let engine_label = function Sync -> "sim" | Async -> "async" | Byz -> "byz"
@@ -39,6 +40,7 @@ let label = function
   | Band _ -> "band"
   | Checkpoint _ -> "checkpoint"
   | Chunk_retry _ -> "chunk_retry"
+  | Chunk_failed _ -> "chunk_failed"
   | Watchdog _ -> "watchdog"
 
 (* Keys below are written in ascending ASCII order by hand; the JSONL
@@ -89,10 +91,16 @@ let to_json ev =
   | Checkpoint { chunk; resumed } ->
       Printf.sprintf "{\"chunk\":%d,\"event\":\"checkpoint\",\"resumed\":%b}"
         chunk resumed
-  | Chunk_retry { chunk; trial; error } ->
+  | Chunk_retry { chunk; attempt; trial; error } ->
       Printf.sprintf
-        "{\"chunk\":%d,\"error\":\"%s\",\"event\":\"chunk_retry\",\"trial\":%d}"
-        chunk (Json.escape error) trial
+        "{\"attempt\":%d,\"chunk\":%d,\"error\":\"%s\",\
+         \"event\":\"chunk_retry\",\"trial\":%d}"
+        attempt chunk (Json.escape error) trial
+  | Chunk_failed { chunk; attempts; trial; error } ->
+      Printf.sprintf
+        "{\"attempts\":%d,\"chunk\":%d,\"error\":\"%s\",\
+         \"event\":\"chunk_failed\",\"trial\":%d}"
+        attempts chunk (Json.escape error) trial
   | Watchdog { experiment } ->
       Printf.sprintf "{\"event\":\"watchdog\",\"experiment\":\"%s\"}"
         (Json.escape experiment)

@@ -50,8 +50,13 @@ type t =
   | Checkpoint of { chunk : int; resumed : bool }
       (** A chunk accumulator persisted ([resumed = false]) or satisfied
           from disk ([resumed = true]). *)
-  | Chunk_retry of { chunk : int; trial : int; error : string }
-      (** A chunk failure captured by the supervised runner. *)
+  | Chunk_retry of { chunk : int; attempt : int; trial : int; error : string }
+      (** A chunk attempt that failed and was re-run under the retry
+          budget ([attempt] counts from 0; safe because [(seed,
+          trial_index)] seeding makes the re-run byte-identical). *)
+  | Chunk_failed of { chunk : int; attempts : int; trial : int; error : string }
+      (** A chunk that exhausted its retry budget: [attempts] failed
+          passes were made and the chunk contributes nothing. *)
   | Watchdog of { experiment : string }
       (** A per-experiment wall-clock watchdog fired. *)
 

@@ -90,7 +90,8 @@ let absorb_event t ev =
       incr t "lb.band_kills" ~by:kills
   | Event.Checkpoint { resumed; _ } ->
       incr t (if resumed then "runner.chunks_resumed" else "runner.chunks_stored")
-  | Event.Chunk_retry _ -> incr t "runner.chunk_failures"
+  | Event.Chunk_retry _ -> incr t "runner.chunk_retries"
+  | Event.Chunk_failed _ -> incr t "runner.chunk_failures"
   | Event.Watchdog _ -> incr t "supervise.watchdog_fires"
 
 let names t =

@@ -34,9 +34,12 @@ val observe : t -> string -> float -> unit
 
 val absorb_event : t -> Event.t -> unit
 (** The standard event-to-metrics fold: every event bumps a small fixed
-    family of metrics (["sim.rounds"], ["lb.band_action.trim"],
-    ["runner.chunk_failures"], ...). Deterministic given the event
-    sequence. *)
+    family of metrics (["sim.rounds"], ["lb.band_action.trim"], ...).
+    Deterministic given the event sequence. Retries and terminal
+    failures are distinct metrics: {!Event.Chunk_retry} bumps
+    ["runner.chunk_retries"] (the attempt was re-run and recovered),
+    {!Event.Chunk_failed} bumps ["runner.chunk_failures"] (the retry
+    budget is exhausted and the chunk is lost). *)
 
 val names : t -> string list
 (** Registered names, ascending. *)

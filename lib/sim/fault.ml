@@ -1,0 +1,237 @@
+(* Deterministic fault injection: seeded plans of (site, scope, nth-hit)
+   arms and the per-fold hit-counting injector. See fault.mli. *)
+
+type site =
+  | Chunk_body
+  | Checkpoint_store
+  | Checkpoint_load
+  | Metrics_merge
+  | Event_sink
+  | Manifest_write
+
+type kind = Crash | Sys_err | Torn_write | Bit_flip
+
+type arm = { site : site; scope : int; hit : int; kind : kind }
+
+type plan = arm list
+
+let run_scope = -1
+
+let every_hit = -1
+
+exception Injected of { site : site; scope : int; kind : kind }
+
+let site_label = function
+  | Chunk_body -> "body"
+  | Checkpoint_store -> "store"
+  | Checkpoint_load -> "load"
+  | Metrics_merge -> "merge"
+  | Event_sink -> "sink"
+  | Manifest_write -> "manifest"
+
+let kind_label = function
+  | Crash -> "raise"
+  | Sys_err -> "sys_error"
+  | Torn_write -> "torn"
+  | Bit_flip -> "bitflip"
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; scope; kind } ->
+        Some
+          (Printf.sprintf "injected fault: %s@%s:%s" (site_label site)
+             (if scope = run_scope then "run" else string_of_int scope)
+             (kind_label kind))
+    | _ -> None)
+
+let scope_to_string scope =
+  if scope = run_scope then "run" else string_of_int scope
+
+let hit_to_string hit = if hit = every_hit then "*" else string_of_int hit
+
+let arm_to_string a =
+  Printf.sprintf "%s@%s#%s:%s" (site_label a.site) (scope_to_string a.scope)
+    (hit_to_string a.hit) (kind_label a.kind)
+
+let plan_to_string plan = String.concat "," (List.map arm_to_string plan)
+
+let site_of_label = function
+  | "body" -> Some Chunk_body
+  | "store" -> Some Checkpoint_store
+  | "load" -> Some Checkpoint_load
+  | "merge" -> Some Metrics_merge
+  | "sink" -> Some Event_sink
+  | "manifest" -> Some Manifest_write
+  | _ -> None
+
+let kind_of_label = function
+  | "raise" -> Some Crash
+  | "sys_error" -> Some Sys_err
+  | "torn" -> Some Torn_write
+  | "bitflip" -> Some Bit_flip
+  | _ -> None
+
+(* Grammar: arm = site '@' scope '#' hit ':' kind, arms comma-joined.
+   scope = int | "run"; hit = int | "*". *)
+let arm_of_string s =
+  let fail reason = Error (Printf.sprintf "bad fault arm %S: %s" s reason) in
+  match String.index_opt s '@' with
+  | None -> fail "missing '@' (want site@scope#hit:kind)"
+  | Some at -> (
+      match String.index_from_opt s at '#' with
+      | None -> fail "missing '#' (want site@scope#hit:kind)"
+      | Some hash -> (
+          match String.index_from_opt s hash ':' with
+          | None -> fail "missing ':' (want site@scope#hit:kind)"
+          | Some colon -> (
+              let site_s = String.sub s 0 at in
+              let scope_s = String.sub s (at + 1) (hash - at - 1) in
+              let hit_s = String.sub s (hash + 1) (colon - hash - 1) in
+              let kind_s =
+                String.sub s (colon + 1) (String.length s - colon - 1)
+              in
+              match site_of_label site_s with
+              | None -> fail (Printf.sprintf "unknown site %S" site_s)
+              | Some site -> (
+                  match kind_of_label kind_s with
+                  | None -> fail (Printf.sprintf "unknown kind %S" kind_s)
+                  | Some kind -> (
+                      let scope =
+                        if scope_s = "run" then Some run_scope
+                        else
+                          match int_of_string_opt scope_s with
+                          | Some c when c >= 0 -> Some c
+                          | Some _ | None -> None
+                      in
+                      match scope with
+                      | None ->
+                          fail
+                            (Printf.sprintf "bad scope %S (int >= 0 or \"run\")"
+                               scope_s)
+                      | Some scope -> (
+                          let hit =
+                            if hit_s = "*" then Some every_hit
+                            else
+                              match int_of_string_opt hit_s with
+                              | Some h when h >= 0 -> Some h
+                              | Some _ | None -> None
+                          in
+                          match hit with
+                          | None ->
+                              fail
+                                (Printf.sprintf
+                                   "bad hit %S (int >= 0 or \"*\")" hit_s)
+                          | Some hit -> Ok { site; scope; hit; kind }))))))
+
+let plan_of_string s =
+  let s = String.trim s in
+  if s = "" then Ok []
+  else
+    String.split_on_char ',' s
+    |> List.fold_left
+         (fun acc part ->
+           match acc with
+           | Error _ as e -> e
+           | Ok arms -> (
+               match arm_of_string (String.trim part) with
+               | Ok a -> Ok (a :: arms)
+               | Error _ as e -> e))
+         (Ok [])
+    |> Result.map List.rev
+
+(* A survivable plan: one arm per selected chunk, every hit index
+   reachable on the first pass, so a retry budget of 1 always recovers.
+   Deterministic in [seed]. *)
+let random_plan ~seed ~n ~chunk_size =
+  if n < 1 then invalid_arg "Fault.random_plan: n";
+  if chunk_size < 1 then invalid_arg "Fault.random_plan: chunk_size";
+  let rng = Prng.Rng.create seed in
+  let nchunks = (n + chunk_size - 1) / chunk_size in
+  let arms = Stdlib.min nchunks (Prng.Rng.int_in rng 3 5) in
+  let chunks = Prng.Sample.choose_k rng nchunks arms in
+  Array.sort Int.compare chunks;
+  Array.to_list chunks
+  |> List.map (fun c ->
+         (* Trials actually in chunk [c]: the last chunk may be short. *)
+         let body_hits = Stdlib.min chunk_size (n - (c * chunk_size)) in
+         match Prng.Rng.int rng 4 with
+         | 0 ->
+             let kind = if Prng.Rng.bool rng then Crash else Sys_err in
+             { site = Chunk_body; scope = c; hit = Prng.Rng.int rng body_hits;
+               kind }
+         | 1 ->
+             let kind =
+               match Prng.Rng.int rng 4 with
+               | 0 -> Crash
+               | 1 -> Sys_err
+               | 2 -> Torn_write
+               | _ -> Bit_flip
+             in
+             { site = Checkpoint_store; scope = c; hit = 0; kind }
+         | 2 ->
+             (* Hit 0 of the load site is the saved-consult of the first
+                attempt, which always happens. Corruption kinds are no-ops
+                when no file exists yet, so keep loads raising. *)
+             let kind = if Prng.Rng.bool rng then Crash else Sys_err in
+             { site = Checkpoint_load; scope = c; hit = 0; kind }
+         | _ ->
+             (* First event of the chunk; inert when capture is off. *)
+             let kind = if Prng.Rng.bool rng then Crash else Sys_err in
+             { site = Event_sink; scope = c; hit = 0; kind })
+
+(* The injector: one counter row per site, one slot per chunk plus a
+   trailing slot for [run_scope]. A chunk-scoped slot is only ever
+   touched by the worker that claimed that chunk, and the run-scoped
+   slot only by the merging (calling) domain, so no synchronization is
+   needed and fault placement cannot depend on scheduling. *)
+
+let nsites = 6
+
+let site_index = function
+  | Chunk_body -> 0
+  | Checkpoint_store -> 1
+  | Checkpoint_load -> 2
+  | Metrics_merge -> 3
+  | Event_sink -> 4
+  | Manifest_write -> 5
+
+type injector = { plan : plan; nchunks : int; hits : int array array }
+
+let injector ?(nchunks = 0) plan =
+  if nchunks < 0 then invalid_arg "Fault.injector: nchunks";
+  { plan; nchunks; hits = Array.init nsites (fun _ -> Array.make (nchunks + 1) 0) }
+
+let fire inj site ~scope =
+  match inj with
+  | None -> None
+  | Some t ->
+      let slot = if scope = run_scope then t.nchunks else scope in
+      if slot < 0 || slot > t.nchunks then None
+      else begin
+        let row = t.hits.(site_index site) in
+        let h = row.(slot) in
+        row.(slot) <- h + 1;
+        List.fold_left
+          (fun found a ->
+            match found with
+            | Some _ -> found
+            | None ->
+                if
+                  site_index a.site = site_index site
+                  && a.scope = scope
+                  && (a.hit = every_hit || a.hit = h)
+                then Some a.kind
+                else None)
+          None t.plan
+      end
+
+let trip inj site ~scope =
+  match fire inj site ~scope with
+  | None -> ()
+  | Some Sys_err ->
+      raise
+        (Sys_error
+           (Printf.sprintf "injected fault: %s@%s:sys_error" (site_label site)
+              (scope_to_string scope)))
+  | Some ((Crash | Torn_write | Bit_flip) as kind) ->
+      raise (Injected { site; scope; kind })

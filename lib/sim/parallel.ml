@@ -7,6 +7,7 @@ exception Cancelled
 type chunk_failed = {
   chunk : int;
   trial : int;
+  attempt : int;
   exn : exn;
   backtrace : Printexc.raw_backtrace;
 }
@@ -16,13 +17,19 @@ type 'acc supervised = {
   chunks_done : int;
   chunks_total : int;
   chunks_resumed : int;
+  retried : chunk_failed list;
   failures : chunk_failed list;
   cancelled : bool;
 }
 
 let pp_chunk_failed f =
-  Printf.sprintf "chunk %d, trial %d: %s" f.chunk f.trial
-    (Printexc.to_string f.exn)
+  if f.attempt = 0 then
+    Printf.sprintf "chunk %d, trial %d: %s" f.chunk f.trial
+      (Printexc.to_string f.exn)
+  else
+    Printf.sprintf "chunk %d, trial %d (attempt %d): %s" f.chunk f.trial
+      f.attempt
+      (Printexc.to_string f.exn)
 
 (* Claim chunks from a shared counter until exhausted or poisoned.
    Worker 0 is the calling domain, so [jobs = 1] never spawns.  [stop] is
@@ -61,9 +68,11 @@ let run_workers ~jobs ~nchunks ~cancel ~run_chunk =
   Atomic.get cancelled
 
 let fold_chunks_supervised ?jobs ?(chunk_size = default_chunk_size)
-    ?(cancel = fun () -> false) ?saved ?persist ~n ~create ~work ~merge () =
+    ?(cancel = fun () -> false) ?(retries = 0) ?fault ?saved ?persist ~n
+    ~create ~work ~merge () =
   if n < 0 then invalid_arg "Parallel.fold_chunks: negative n";
   if chunk_size < 1 then invalid_arg "Parallel.fold_chunks: chunk_size";
+  if retries < 0 then invalid_arg "Parallel.fold_chunks: retries";
   let jobs =
     match jobs with Some j when j >= 1 -> j | Some _ | None -> default_jobs ()
   in
@@ -73,6 +82,7 @@ let fold_chunks_supervised ?jobs ?(chunk_size = default_chunk_size)
       chunks_done = 0;
       chunks_total = 0;
       chunks_resumed = 0;
+      retried = [];
       failures = [];
       cancelled = false;
     }
@@ -83,36 +93,59 @@ let fold_chunks_supervised ?jobs ?(chunk_size = default_chunk_size)
        ran that chunk and published by [Domain.join]: no CAS race, so no
        failure is ever dropped, and each carries its backtrace. *)
     let failed = Array.make nchunks None in
+    (* Non-terminal failures (attempts that were retried), newest first;
+       same single-writer-per-slot discipline as [failed]. *)
+    let retried_rev = Array.make nchunks [] in
     let resumed = Array.make nchunks false in
     let run_chunk c =
-      match match saved with Some f -> f c | None -> None with
-      | Some acc ->
-          partials.(c) <- Some acc;
-          resumed.(c) <- true;
-          true
-      | None -> (
-          let acc = create () in
-          let lo = c * chunk_size in
-          let hi = Stdlib.min n (lo + chunk_size) - 1 in
-          let i = ref lo in
-          try
-            while !i <= hi do
-              work !i acc;
-              incr i
-            done;
-            (match persist with Some p -> p c acc | None -> ());
-            (* Published only once the chunk is durable: a chunk whose
-               [persist] raised is a failed chunk and contributes nothing.
-               Distinct slots per chunk; Domain.join publishes them to the
-               merging domain. *)
-            partials.(c) <- Some acc;
-            true
-          with exn ->
-            let backtrace = Printexc.get_raw_backtrace () in
-            (* [trial = hi + 1] means the chunk's work all succeeded and
-               [persist] itself raised. *)
-            failed.(c) <- Some { chunk = c; trial = !i; exn; backtrace };
-            false)
+      let lo = c * chunk_size in
+      let hi = Stdlib.min n (lo + chunk_size) - 1 in
+      (* Attempts share the chunk's fault-injector hit counters (they are
+         never reset), so an armed fault fires exactly once and the
+         retried pass runs clean — and, because each trial's RNG is a
+         pure function of (seed, index), byte-identical to what the
+         failed attempt would have produced. The [saved] hook is
+         re-consulted on every attempt: a failed [persist] may have left
+         a durable (or torn — then quarantined by {!Checkpoint.load})
+         file behind. *)
+      let rec attempt k =
+        let i = ref lo in
+        try
+          match match saved with Some f -> f c | None -> None with
+          | Some acc ->
+              partials.(c) <- Some acc;
+              resumed.(c) <- true;
+              true
+          | None ->
+              let acc = create () in
+              while !i <= hi do
+                Fault.trip fault Fault.Chunk_body ~scope:c;
+                work !i acc;
+                incr i
+              done;
+              (match persist with Some p -> p c acc | None -> ());
+              (* Published only once the chunk is durable: a chunk whose
+                 [persist] raised is a failed chunk and contributes
+                 nothing. Distinct slots per chunk; Domain.join publishes
+                 them to the merging domain. *)
+              partials.(c) <- Some acc;
+              true
+        with exn ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          (* [trial = hi + 1] means the chunk's work all succeeded and
+             [persist] itself raised; [trial = lo] with a raising [saved]
+             hook means the consult raised before any work ran. *)
+          let f = { chunk = c; trial = !i; attempt = k; exn; backtrace } in
+          if k < retries then begin
+            retried_rev.(c) <- f :: retried_rev.(c);
+            attempt (k + 1)
+          end
+          else begin
+            failed.(c) <- Some f;
+            false
+          end
+      in
+      attempt 0
     in
     let was_cancelled = run_workers ~jobs ~nchunks ~cancel ~run_chunk in
     (* Merge in chunk order: chunking and merge order depend only on [n]
@@ -140,11 +173,15 @@ let fold_chunks_supervised ?jobs ?(chunk_size = default_chunk_size)
         [] failed
       |> List.rev
     in
+    (* Chunk order, then attempt order within a chunk: deterministic for
+       plan-injected faults at any [jobs]. *)
+    let retried = Array.to_list retried_rev |> List.concat_map List.rev in
     {
       value = !acc;
       chunks_done = !chunks_done;
       chunks_total = nchunks;
       chunks_resumed = !chunks_resumed;
+      retried;
       failures;
       cancelled = was_cancelled;
     }

@@ -40,17 +40,24 @@ type chunk_failed = {
   trial : int;
       (** Global index whose [work] call raised. [chunk * chunk_size +
           chunk_size] (one past the chunk) means every [work] call
-          succeeded and the [persist] hook itself raised. *)
+          succeeded and the [persist] hook itself raised; the chunk's
+          first index with a raising [saved] hook means the consult
+          raised before any work ran. *)
+  attempt : int;
+      (** Which pass over the chunk failed (0 = the first attempt). In
+          [failures] this is the terminal attempt, i.e. the full retry
+          budget; in [retried] it is the attempt that was re-run. *)
   exn : exn;
   backtrace : Printexc.raw_backtrace;
 }
-(** A structured record of one failed chunk. Each chunk has its own
-    failure slot written by the worker that ran it, so concurrent failures
-    are all captured — none is dropped to a first-failure race — and each
-    keeps the backtrace of the original raise. *)
+(** A structured record of one failed chunk attempt. Each chunk has its
+    own failure slot written by the worker that ran it, so concurrent
+    failures are all captured — none is dropped to a first-failure race —
+    and each keeps the backtrace of the original raise. *)
 
 val pp_chunk_failed : chunk_failed -> string
-(** One-line rendering: ["chunk C, trial I: <exn>"]. *)
+(** One-line rendering: ["chunk C, trial I: <exn>"], with
+    [" (attempt A)"] after the trial for retried attempts. *)
 
 type 'acc supervised = {
   value : 'acc option;
@@ -60,7 +67,11 @@ type 'acc supervised = {
   chunks_done : int;  (** Completed chunks, including resumed ones. *)
   chunks_total : int;
   chunks_resumed : int;  (** Chunks satisfied by [saved] instead of run. *)
-  failures : chunk_failed list;  (** In chunk order. *)
+  retried : chunk_failed list;
+      (** Failed attempts that were re-run under the [retries] budget,
+          in (chunk, attempt) order. A chunk appearing here and not in
+          [failures] recovered and contributed normally to [value]. *)
+  failures : chunk_failed list;  (** Terminal failures, in chunk order. *)
   cancelled : bool;  (** The [cancel] hook fired before all chunks ran. *)
 }
 
@@ -68,6 +79,8 @@ val fold_chunks_supervised :
   ?jobs:int ->
   ?chunk_size:int ->
   ?cancel:(unit -> bool) ->
+  ?retries:int ->
+  ?fault:Fault.injector ->
   ?saved:(int -> 'acc option) ->
   ?persist:(int -> 'acc -> unit) ->
   n:int ->
@@ -84,6 +97,19 @@ val fold_chunks_supervised :
     {- A raising [work] call poisons the pool: peers drain their in-flight
        chunks but start no new ones. The failed chunk is recorded in
        [failures]; every completed chunk still contributes to [value].}
+    {- [retries] (default 0) re-runs a failed chunk from a fresh
+       accumulator up to that many extra attempts before recording it in
+       [failures] — safe because work derives all randomness from
+       [(seed, index)], so a re-run chunk is byte-identical. Each
+       non-terminal failure lands in [retried]; only a chunk that fails
+       [retries + 1] times poisons the pool. The [saved] hook is
+       re-consulted on every attempt (a failed [persist] may have left a
+       durable file behind).}
+    {- [fault] is a {!Fault} injector: the fold trips the
+       {!Fault.Chunk_body} site before every [work] call (the other
+       sites are tripped by {!Checkpoint} and the callers' hooks).
+       Injector hit counters are never reset by retries, so an armed
+       fault fires exactly once and the retried pass runs clean.}
     {- [cancel] is a cooperative watchdog hook, polled by each worker
        before claiming a chunk (never mid-chunk). When it returns [true]
        the pool is poisoned the same way and [cancelled] is set. It runs

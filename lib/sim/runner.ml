@@ -105,6 +105,7 @@ type report = {
   chunks_done : int;
   chunks_total : int;
   chunks_resumed : int;
+  retried : Parallel.chunk_failed list;
   failures : Parallel.chunk_failed list;
   cancelled : bool;
 }
@@ -126,8 +127,21 @@ let summary_of_acc acc =
 
 let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     ?cancel ?checkpoint ?capture ?(engine = `Concrete) ?cohort_adversary
-    ~trials ~seed ~gen_inputs ~t protocol make_adversary =
+    ?retries ?fault ~trials ~seed ~gen_inputs ~t protocol make_adversary =
   if trials <= 0 then invalid_arg "Runner.run_trials: trials must be positive";
+  (* One injector per run, sized to this fold's chunk geometry: fault
+     placement is a pure function of (plan, trials, chunk_size), never of
+     jobs or scheduling. *)
+  let cs =
+    match chunk_size with
+    | Some c when c >= 1 -> c
+    | Some _ | None -> Parallel.default_chunk_size
+  in
+  let finj =
+    Option.map
+      (fun plan -> Fault.injector ~nchunks:((trials + cs - 1) / cs) plan)
+      fault
+  in
   let work index acc =
     let trial = index + 1 in
     (* The trial's randomness is a pure function of (seed, index): no
@@ -137,8 +151,20 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     let inputs = gen_inputs rng in
     let sink =
       (* The sink closure is rebuilt per trial over the chunk's plain
-         data slice, so the checkpointed acc stays Marshal-safe. *)
-      match acc.acc_obs with None -> None | Some ob -> Some (obs_sink ob)
+         data slice, so the checkpointed acc stays Marshal-safe. Under
+         fault injection each absorbed event first trips the Event_sink
+         site, scoped by the trial's chunk. *)
+      match acc.acc_obs with
+      | None -> None
+      | Some ob -> (
+          match finj with
+          | None -> Some (obs_sink ob)
+          | Some _ ->
+              let scope = index / cs in
+              Some
+                (Obs.Sink.create (fun ev ->
+                     Fault.trip finj Fault.Event_sink ~scope;
+                     obs_note ob ev)))
     in
     (* A fresh adversary per trial: adversaries may close over mutable
        trackers, which must not be shared across concurrent trials. *)
@@ -194,7 +220,7 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     | Some ck ->
         ( Some
             (fun c ->
-              match Checkpoint.load ck ~chunk:c with
+              match Checkpoint.load ?fault:finj ck ~chunk:c with
               | None -> None
               | Some acc ->
                   note_checkpoint acc ~chunk:c ~resumed:true;
@@ -202,13 +228,25 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
           Some
             (fun c acc ->
               note_checkpoint acc ~chunk:c ~resumed:false;
-              Checkpoint.store ck ~chunk:c acc) )
+              Checkpoint.store ?fault:finj ck ~chunk:c acc) )
+  in
+  let merge =
+    (* The chunk-ordered merge runs sequentially on the calling domain
+       after the workers join, so Metrics_merge faults are deterministic
+       at any jobs count — and, having no chunk attempt to retry into,
+       terminal by construction. *)
+    match finj with
+    | None -> acc_merge
+    | Some _ ->
+        fun a b ->
+          Fault.trip finj Fault.Metrics_merge ~scope:Fault.run_scope;
+          acc_merge a b
   in
   let s =
-    Parallel.fold_chunks_supervised ?jobs ?chunk_size ?cancel ?saved ?persist
-      ~n:trials
+    Parallel.fold_chunks_supervised ?jobs ?chunk_size ?cancel ?retries
+      ?fault:finj ?saved ?persist ~n:trials
       ~create:(fun () -> acc_create ?capture ())
-      ~work ~merge:acc_merge ()
+      ~work ~merge ()
   in
   (match capture with
   | None -> ()
@@ -235,6 +273,7 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     chunks_done = s.Parallel.chunks_done;
     chunks_total = s.Parallel.chunks_total;
     chunks_resumed = s.Parallel.chunks_resumed;
+    retried = s.Parallel.retried;
     failures = s.Parallel.failures;
     cancelled = s.Parallel.cancelled;
   }

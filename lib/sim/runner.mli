@@ -40,7 +40,11 @@ type report = {
   chunks_done : int;
   chunks_total : int;
   chunks_resumed : int;  (** Chunks satisfied from the checkpoint store. *)
-  failures : Parallel.chunk_failed list;  (** In chunk order. *)
+  retried : Parallel.chunk_failed list;
+      (** Failed attempts re-run under the [retries] budget, in (chunk,
+          attempt) order; the recovered chunks contribute normally. *)
+  failures : Parallel.chunk_failed list;
+      (** Terminal failures (budget exhausted), in chunk order. *)
   cancelled : bool;  (** The [cancel] watchdog fired. *)
 }
 (** Outcome of a supervised run: the salvaged partial summary plus the
@@ -57,6 +61,8 @@ val run_trials_supervised :
   ?capture:Obs.Capture.t ->
   ?engine:[ `Concrete | `Cohort ] ->
   ?cohort_adversary:(unit -> ('state, 'msg) Cohort.adversary) ->
+  ?retries:int ->
+  ?fault:Fault.plan ->
   trials:int ->
   seed:int ->
   gen_inputs:(Prng.Rng.t -> int array) ->
@@ -73,6 +79,20 @@ val run_trials_supervised :
     [Marshal] round-trips the accumulators exactly, a resumed run's
     summary is byte-identical to an uninterrupted one. A fully successful
     run clears its checkpoint store.
+
+    [retries] (default 0) re-runs a failed chunk up to that many extra
+    attempts before it counts as a failure — safe because each trial's
+    RNG is a pure function of [(seed, index)], so the re-run is
+    byte-identical; recovered attempts are listed in [retried]. [fault]
+    arms a deterministic {!Fault} plan over this fold: one injector is
+    built for the run's chunk geometry and threaded through the chunk
+    bodies ({!Fault.Chunk_body}), the checkpoint store/load calls, each
+    chunk's event absorption ({!Fault.Event_sink}, only live under
+    [capture]), and the final sequential merge ({!Fault.Metrics_merge},
+    terminal — there is no chunk attempt to retry into). A survivable
+    plan (every armed fault absorbed by the retry budget) yields a
+    summary, event stream, and metrics digest byte-identical to the
+    fault-free run at any [jobs].
 
     [capture] attaches the observability layer: every trial's engine
     events are folded into per-chunk {!Obs.Metrics} (and, when the

@@ -1,0 +1,12 @@
+(* R10: fault-site triggers outside the injector-mediated call paths.
+   Building and parsing plans (and creating injectors) is legal anywhere —
+   only the fire/trip calls below may be flagged. *)
+
+let plan =
+  match Sim.Fault.plan_of_string "body@0#1:raise" with
+  | Ok p -> p
+  | Error _ -> []
+
+let inj = Some (Sim.Fault.injector ~nchunks:4 plan)
+let bad_trip () = Sim.Fault.trip inj Sim.Fault.Chunk_body ~scope:0
+let bad_fire () = Core.Fault.fire inj Core.Fault.Event_sink ~scope:1

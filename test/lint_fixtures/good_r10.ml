@@ -1,0 +1,8 @@
+(* The identical trigger is the runner stack's own business: inside the
+   fault engine and the supervised fold (R10's allow-list, e.g.
+   lib/sim/runner.ml) this lints clean, and test/ is exempt so unit tests
+   can exercise sites directly.  Anywhere else it is an R10 violation. *)
+
+let run_chunk inj work i =
+  Sim.Fault.trip inj Sim.Fault.Chunk_body ~scope:0;
+  work i

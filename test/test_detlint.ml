@@ -84,6 +84,27 @@ let test_r6_scoped () =
   check_strings "the same spans elsewhere are R6" [ "R6" ]
     (rules (violations (lint "good_r6.ml")))
 
+let test_r10_fires () =
+  let fs = lint "bad_r10.ml" in
+  check_strings "R10 and only R10" [ "R10" ] (rules (violations fs));
+  (* The plan_of_string / injector calls in the fixture are legal
+     everywhere: only the trip and fire triggers count. *)
+  Alcotest.(check int) "trip and fire flagged, construction clean" 2
+    (List.length fs)
+
+let test_r10_scoped () =
+  (* The identical trigger is the fault engine's own business inside the
+     supervised runner stack, and test/ is exempt so unit tests can
+     exercise sites directly. *)
+  check_strings "clean inside the runner stack" []
+    (rules (lint ~relpath:"lib/sim/runner.ml" "good_r10.ml"));
+  check_strings "clean inside the supervised fold" []
+    (rules (lint ~relpath:"lib/core/supervise.ml" "good_r10.ml"));
+  check_strings "exempt under test/" []
+    (rules (lint ~relpath:"test/test_fault.ml" "good_r10.ml"));
+  check_strings "the same trigger elsewhere is R10" [ "R10" ]
+    (rules (violations (lint "good_r10.ml")))
+
 let test_good_r5_int () =
   (* Monomorphic spellings are clean even inside the scope. *)
   check_strings "Int.compare chains are clean" []
@@ -411,6 +432,8 @@ let suites =
         tc "R5 is scoped to the four hot-path libraries" test_r5_scoped;
         tc "R6 fires on Obs.Clock outside the quarantine" test_r6_fires;
         tc "R6 exempts lib/obs and bench" test_r6_scoped;
+        tc "R10 fires on ad-hoc fault triggers" test_r10_fires;
+        tc "R10 exempts the runner stack and test/" test_r10_scoped;
       ] );
     ( "detlint.clean",
       [

@@ -155,6 +155,61 @@ let test_tee () =
   check_bool "tee of two nulls is disabled" false
     (Obs.Sink.enabled (Obs.Sink.tee Obs.Sink.null Obs.Sink.null))
 
+(* --- event JSON: shape and escaping ------------------------------------- *)
+
+let test_event_json_escaped () =
+  (* Regression pin: failure text flows into events verbatim, and
+     Printexc renders [Failure "boom"] with embedded quotes — the error
+     field must escape quotes, backslashes, and newlines or the JSONL
+     stream breaks at the first retried chunk. *)
+  let ev =
+    Obs.Event.Chunk_retry
+      {
+        chunk = 2;
+        attempt = 0;
+        trial = 17;
+        error = "Failure(\"boom\")\nat C:\\tmp";
+      }
+  in
+  Alcotest.(check string)
+    "chunk_retry json escaped"
+    "{\"attempt\":0,\"chunk\":2,\"error\":\"Failure(\\\"boom\\\")\\nat \
+     C:\\\\tmp\",\"event\":\"chunk_retry\",\"trial\":17}"
+    (Obs.Event.to_json ev)
+
+let test_event_json_chunk_failed () =
+  let ev =
+    Obs.Event.Chunk_failed
+      {
+        chunk = 4;
+        attempts = 3;
+        trial = 35;
+        error = "injected fault: body@4:raise";
+      }
+  in
+  Alcotest.(check string)
+    "chunk_failed json shape"
+    "{\"attempts\":3,\"chunk\":4,\"error\":\"injected fault: \
+     body@4:raise\",\"event\":\"chunk_failed\",\"trial\":35}"
+    (Obs.Event.to_json ev)
+
+let test_event_metrics_split () =
+  (* Satellite: recovered attempts and terminal failures are distinct
+     registry names — a retried-but-recovered run must never look failed
+     in the metrics. *)
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.absorb_event m
+    (Obs.Event.Chunk_retry { chunk = 0; attempt = 0; trial = 1; error = "e" });
+  Obs.Metrics.absorb_event m
+    (Obs.Event.Chunk_retry { chunk = 0; attempt = 1; trial = 1; error = "e" });
+  Obs.Metrics.absorb_event m
+    (Obs.Event.Chunk_failed
+       { chunk = 0; attempts = 3; trial = 1; error = "e" });
+  check_int "retries counted apart" 2
+    (Obs.Metrics.counter_value m "runner.chunk_retries");
+  check_int "terminal failures counted apart" 1
+    (Obs.Metrics.counter_value m "runner.chunk_failures")
+
 (* --- registry algebra --------------------------------------------------- *)
 
 let test_metrics_merge () =
@@ -203,6 +258,13 @@ let suites =
         tc "enabled sink receives" test_enabled_sink_receives;
         tc "outcome unchanged by sink" test_sink_outcome_unchanged;
         tc "tee forwards and gates" test_tee;
+      ] );
+    ( "obs.events",
+      [
+        tc "retry event json escapes failure text" test_event_json_escaped;
+        tc "chunk_failed event json shape" test_event_json_chunk_failed;
+        tc "retries and failures are distinct metrics"
+          test_event_metrics_split;
       ] );
     ( "obs.metrics",
       [

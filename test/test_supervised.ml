@@ -9,9 +9,10 @@ let check_string = Alcotest.(check string)
 
 (* List-of-indices accumulator: the merged value spells out exactly which
    indices were folded in, in merge order. *)
-let indices_fold ?jobs ?cancel ?saved ?persist ~chunk_size ~n ~crash_at () =
-  Sim.Parallel.fold_chunks_supervised ?jobs ?cancel ?saved ?persist
-    ~chunk_size ~n
+let indices_fold ?jobs ?cancel ?retries ?fault ?saved ?persist ~chunk_size ~n
+    ~crash_at () =
+  Sim.Parallel.fold_chunks_supervised ?jobs ?cancel ?retries ?fault ?saved
+    ?persist ~chunk_size ~n
     ~create:(fun () -> ref [])
     ~work:(fun i acc ->
       if List.mem i crash_at then failwith (Printf.sprintf "boom %d" i);
@@ -81,6 +82,85 @@ let test_persist_failure_recorded () =
   | Some v -> Alcotest.(check (list int)) "only durable chunks merged" [ 0; 1; 2; 3; 4; 5; 6; 7 ] !v
   | None -> Alcotest.fail "partial value missing"
 
+(* --- fold_chunks_supervised: retry budget ------------------------------ *)
+
+let plan_of_string_exn s =
+  match Sim.Fault.plan_of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad plan %S: %s" s e
+
+let test_retry_recovers () =
+  (* An armed fault on chunk 1's third work call (index 6) fires exactly
+     once — hit counters persist across retries — so the retried pass
+     runs clean and the final value is the complete fold. *)
+  let fault =
+    Sim.Fault.injector ~nchunks:4 (plan_of_string_exn "body@1#2:raise")
+  in
+  let s =
+    indices_fold ~jobs:1 ~chunk_size:4 ~n:16 ~crash_at:[] ~retries:1 ~fault ()
+  in
+  check_bool "no terminal failures" true (s.Sim.Parallel.failures = []);
+  check_int "all chunks done" 4 s.Sim.Parallel.chunks_done;
+  (match s.Sim.Parallel.retried with
+  | [ f ] ->
+      check_int "retried chunk" 1 f.Sim.Parallel.chunk;
+      check_int "retried trial" 6 f.Sim.Parallel.trial;
+      check_int "retried attempt" 0 f.Sim.Parallel.attempt;
+      check_bool "injected exception preserved" true
+        (match f.Sim.Parallel.exn with
+        | Sim.Fault.Injected
+            { site = Sim.Fault.Chunk_body; scope = 1; kind = Sim.Fault.Crash }
+          ->
+            true
+        | _ -> false);
+      check_string "pp renders the injected fault"
+        "chunk 1, trial 6: injected fault: body@1:raise"
+        (Sim.Parallel.pp_chunk_failed f)
+  | fs ->
+      Alcotest.failf "expected exactly one retried attempt, got %d"
+        (List.length fs));
+  match s.Sim.Parallel.value with
+  | Some v ->
+      Alcotest.(check (list int))
+        "retried fold is complete"
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+        !v
+  | None -> Alcotest.fail "value missing"
+
+let test_retry_budget_exhausted () =
+  (* An every-hit arm defeats any budget: [retries] extra passes all land
+     in [retried], the terminal attempt in [failures] with the original
+     exception, and the chunk contributes nothing. *)
+  let fault =
+    Sim.Fault.injector ~nchunks:4 (plan_of_string_exn "body@1#*:raise")
+  in
+  let s =
+    indices_fold ~jobs:1 ~chunk_size:4 ~n:16 ~crash_at:[] ~retries:2 ~fault ()
+  in
+  (match s.Sim.Parallel.failures with
+  | [ f ] ->
+      check_int "terminal chunk" 1 f.Sim.Parallel.chunk;
+      check_int "terminal attempt is the budget" 2 f.Sim.Parallel.attempt
+  | fs -> Alcotest.failf "expected one terminal failure, got %d" (List.length fs));
+  Alcotest.(check (list int))
+    "every non-terminal attempt recorded" [ 0; 1 ]
+    (List.map (fun f -> f.Sim.Parallel.attempt) s.Sim.Parallel.retried);
+  check_bool "retried attempts are all chunk 1" true
+    (List.for_all (fun f -> f.Sim.Parallel.chunk = 1) s.Sim.Parallel.retried);
+  (* Only a terminal failure poisons the pool: with one worker, chunk 0
+     completed before the budget ran out and chunks 2-3 never started. *)
+  match s.Sim.Parallel.value with
+  | Some v ->
+      Alcotest.(check (list int))
+        "failed chunk contributes nothing" [ 0; 1; 2; 3 ] !v
+  | None -> Alcotest.fail "salvaged value missing"
+
+let test_retries_validated () =
+  Alcotest.check_raises "negative retries rejected"
+    (Invalid_argument "Parallel.fold_chunks: retries") (fun () ->
+      ignore
+        (indices_fold ~jobs:1 ~chunk_size:4 ~n:8 ~crash_at:[] ~retries:(-1) ()))
+
 (* --- fold_chunks_supervised: cooperative cancellation ------------------ *)
 
 let test_cancel_before_first_chunk () =
@@ -148,7 +228,9 @@ let test_checkpoint_roundtrip () =
 
 let test_checkpoint_key_mismatch () =
   (* Same directory, different key (n differs): a chunk written under one
-     configuration is invisible to the other. *)
+     configuration is alien to the other and gets quarantined on load —
+     the store never trusts a file it cannot verify, so the original is
+     gone afterwards (it will be recomputed, not silently reused). *)
   with_temp_root "ckpt_test_key" @@ fun root ->
   let ck16 =
     Sim.Checkpoint.create ~root ~exp:"e" ~seed:3 ~chunk_size:4 ~n:16
@@ -161,7 +243,15 @@ let test_checkpoint_key_mismatch () =
   Sim.Checkpoint.store ck16 ~chunk:0 [ 42 ];
   check_bool "mismatched key rejected" true
     ((Sim.Checkpoint.load ck24 ~chunk:0 : int list option) = None);
-  check_bool "matching key still loads" true
+  let quarantined =
+    Filename.concat (Sim.Checkpoint.dir ck24) "chunk-0.corrupt"
+  in
+  check_bool "alien file quarantined" true (Sys.file_exists quarantined);
+  check_bool "original consumed by quarantine" true
+    ((Sim.Checkpoint.load ck16 ~chunk:0 : int list option) = None);
+  (* A re-store under the right key wins back the slot. *)
+  Sim.Checkpoint.store ck16 ~chunk:0 [ 42 ];
+  check_bool "re-stored chunk loads" true
     ((Sim.Checkpoint.load ck16 ~chunk:0 : int list option) = Some [ 42 ]);
   Sim.Checkpoint.clear ck16
 
@@ -219,6 +309,66 @@ let test_checkpoint_tmp_sweep () =
   check_bool "stale .tmp swept on re-create" false (Sys.file_exists stale);
   check_bool "real chunk survives the sweep" true
     ((Sim.Checkpoint.load ck' ~chunk:1 : int list option) = Some [ 7 ]);
+  Sim.Checkpoint.clear ck'
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_checkpoint_corruption_quarantined () =
+  (* Satellite: every way a chunk file can rot on disk — truncation,
+     a flipped bit, an empty file — must load as None (recompute) and
+     leave the evidence under [chunk-N.corrupt], never a wrong value and
+     never a crash. *)
+  with_temp_root "ckpt_test_corrupt" @@ fun root ->
+  let ck =
+    Sim.Checkpoint.create ~root ~exp:"rot" ~seed:3 ~chunk_size:4 ~n:16
+  in
+  let path = Filename.concat (Sim.Checkpoint.dir ck) "chunk-0" in
+  let quarantined = path ^ ".corrupt" in
+  let check_rot label corrupt =
+    Sim.Checkpoint.store ck ~chunk:0 [ 1; 2; 3 ];
+    corrupt (read_file path);
+    check_bool (label ^ " loads None") true
+      ((Sim.Checkpoint.load ck ~chunk:0 : int list option) = None);
+    check_bool (label ^ " quarantined") true (Sys.file_exists quarantined);
+    check_bool (label ^ " original gone") false (Sys.file_exists path)
+  in
+  check_rot "truncated file" (fun good ->
+      write_file path (String.sub good 0 (String.length good / 2)));
+  check_rot "bit-flipped payload" (fun good ->
+      let b = Bytes.of_string good in
+      let i = String.length good - 3 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      write_file path (Bytes.to_string b));
+  check_rot "empty file" (fun _ -> write_file path "");
+  (* Quarantine keeps only the latest casualty; a clean re-store wins the
+     slot back regardless. *)
+  Sim.Checkpoint.store ck ~chunk:0 [ 1; 2; 3 ];
+  check_bool "clean re-store loads" true
+    ((Sim.Checkpoint.load ck ~chunk:0 : int list option) = Some [ 1; 2; 3 ]);
+  Sim.Checkpoint.clear ck
+
+let test_checkpoint_corrupt_sweep () =
+  (* Quarantined leftovers are diagnostic debris: a fresh (non-resume)
+     store open sweeps [.corrupt] files along with [.tmp] ones. *)
+  with_temp_root "ckpt_test_corrupt_sweep" @@ fun root ->
+  let mk () =
+    Sim.Checkpoint.create ~root ~exp:"sweepc" ~seed:2 ~chunk_size:4 ~n:8
+  in
+  let ck = mk () in
+  Sim.Checkpoint.store ck ~chunk:0 [ 1 ];
+  let stale = Filename.concat (Sim.Checkpoint.dir ck) "chunk-3.corrupt" in
+  write_file stale "old quarantined bytes";
+  let ck' = mk () in
+  check_bool "stale .corrupt swept on re-create" false (Sys.file_exists stale);
   Sim.Checkpoint.clear ck'
 
 (* --- Sim.Runner: supervised runs --------------------------------------- *)
@@ -434,6 +584,104 @@ let test_supervise_isolation_and_exit () =
   check_bool "all-clean run exits zero" false
     (Core.Supervise.any_failed [ good ])
 
+let supervised_fold ctx =
+  (* The production wiring in miniature: the supervisor carries the fault
+     plan and retry budget, the runner fold consumes them via the same
+     accessors Core.Experiments uses, and commit folds the report back. *)
+  Core.Supervise.commit (Some ctx)
+    (Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs:1 ~chunk_size:4
+       ?retries:(Core.Supervise.retries (Some ctx))
+       ?fault:(Core.Supervise.fault_plan (Some ctx))
+       ~trials:16 ~seed:5
+       ~gen_inputs:(Sim.Runner.input_gen_random ~n:8)
+       ~t:2 (Core.Synran.protocol 8)
+       (fun () -> Sim.Adversary.null))
+
+let test_supervise_retry_accounting () =
+  let ctx =
+    Core.Supervise.create ~retries:1
+      ~fault:(plan_of_string_exn "body@1#2:raise") ()
+  in
+  let r =
+    Core.Supervise.run_experiment ctx ~id:"er" (fun () ->
+        let s = supervised_fold ctx in
+        check_int "all trials completed despite the fault" 16
+          s.Sim.Runner.trials;
+        Stats.Table.create ~title:"t" ~columns:[ "c" ])
+  in
+  check_bool "completed" false (Core.Supervise.failed r);
+  check_int "one retry accounted" 1 r.Core.Supervise.chunk_retries;
+  check_bool "status line reports the retry" true
+    (let line = Core.Supervise.status_line r in
+     let needle = "1 retried" in
+     let lw = String.length needle in
+     let rec go i =
+       i + lw <= String.length line
+       && (String.sub line i lw = needle || go (i + 1))
+     in
+     go 0);
+  (match
+     List.filter
+       (function Obs.Event.Chunk_retry _ -> true | _ -> false)
+       (Core.Supervise.events ctx)
+   with
+  | [ Obs.Event.Chunk_retry { chunk; attempt; trial; error } ] ->
+      check_int "event chunk" 1 chunk;
+      check_int "event attempt" 0 attempt;
+      check_int "event trial" 6 trial;
+      check_string "event error" "injected fault: body@1:raise" error
+  | evs -> Alcotest.failf "expected one Chunk_retry event, got %d"
+             (List.length evs));
+  with_temp_root "manifest_retry_tmp" @@ fun root ->
+  let path = Filename.concat root "m.json" in
+  Core.Supervise.write_manifest ~path ~profile:"quick" ~seed:5 ~jobs:1
+    ~resume:false ~deadline_s:None [ r ];
+  let json = read_file path in
+  let mem needle =
+    let lw = String.length needle in
+    let rec go i =
+      i + lw <= String.length json
+      && (String.sub json i lw = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "manifest records the retries" true (mem "\"chunk_retries\": 1")
+
+let test_supervise_fault_budget_exhausted () =
+  (* An every-hit arm outlasts the budget: the experiment lands as Failed
+     with the injected fault's message and original backtrace, and the
+     run-level stream carries both the retried passes and the terminal
+     Chunk_failed. *)
+  let ctx =
+    Core.Supervise.create ~retries:1
+      ~fault:(plan_of_string_exn "body@1#*:raise") ()
+  in
+  let r =
+    Core.Supervise.run_experiment ctx ~id:"ef" (fun () ->
+        let _ = supervised_fold ctx in
+        Alcotest.fail "commit did not re-raise the terminal failure")
+  in
+  (match r.Core.Supervise.status with
+  | Core.Supervise.Failed { message; backtrace = _ } ->
+      check_string "original fault message"
+        "chunk 1, trial 4 (attempt 1): injected fault: body@1:raise" message
+  | _ -> Alcotest.fail "expected Failed");
+  check_int "the recovered pass is still accounted" 1
+    r.Core.Supervise.chunk_retries;
+  match
+    List.filter
+      (function Obs.Event.Chunk_failed _ -> true | _ -> false)
+      (Core.Supervise.events ctx)
+  with
+  | [ Obs.Event.Chunk_failed { chunk; attempts; trial; error } ] ->
+      check_int "terminal chunk" 1 chunk;
+      check_int "total attempts" 2 attempts;
+      check_int "terminal trial" 4 trial;
+      check_string "terminal error" "injected fault: body@1:raise" error
+  | evs ->
+      Alcotest.failf "expected one Chunk_failed event, got %d"
+        (List.length evs)
+
 let test_manifest_shape () =
   let ctx = Core.Supervise.create () in
   let ok =
@@ -482,6 +730,11 @@ let suites =
         tc "cancel before the first chunk" test_cancel_before_first_chunk;
         tc "cancel fires only at chunk boundaries"
           test_cancel_at_chunk_boundary;
+        tc "armed fault fires once; the retried pass recovers"
+          test_retry_recovers;
+        tc "exhausted retry budget is a terminal failure"
+          test_retry_budget_exhausted;
+        tc "negative retries rejected" test_retries_validated;
       ] );
     ( "supervised.checkpoint",
       [
@@ -491,6 +744,9 @@ let suites =
         tc "lossy-sanitizing ids do not collide"
           test_checkpoint_collision_distinct;
         tc "stale .tmp files are swept" test_checkpoint_tmp_sweep;
+        tc "corrupt files load None and are quarantined"
+          test_checkpoint_corruption_quarantined;
+        tc "stale .corrupt files are swept" test_checkpoint_corrupt_sweep;
       ] );
     ( "supervised.runner",
       [
@@ -510,6 +766,10 @@ let suites =
         tc "armed watchdog cancels and raises" test_supervise_armed_watchdog;
         tc "failures are isolated; exit code trips"
           test_supervise_isolation_and_exit;
+        tc "retries are accounted in events, status and manifest"
+          test_supervise_retry_accounting;
+        tc "exhausted budget fails the experiment with the fault"
+          test_supervise_fault_budget_exhausted;
         tc "manifest shape" test_manifest_shape;
       ] );
   ]

@@ -32,6 +32,14 @@
        every caller inside the observability library and the bench harness
        is what guarantees timings can only reach diagnostic output, never
        an experiment table, a metrics registry, or an RNG.
+   R10 no [Fault.fire] / [Fault.trip] outside the injector-mediated call
+       paths (lib/sim/{fault,parallel,checkpoint,runner}.ml and
+       lib/core/{fault,supervise}.ml). Fault-site triggers anywhere else
+       would inject failures outside the retry/quarantine machinery and
+       outside the replay contract ([--fault-plan] re-runs must place
+       every fault identically). Constructing or parsing plans is legal
+       anywhere; only firing sites is confined. The unit-test tree is
+       exempt (tests exercise the injector directly).
 
    Rules R7 (cohort class-member order), R8 (float-fold ordering on merged
    registries), R9 (mutable state escaping supervised chunk closures) and
@@ -83,7 +91,7 @@ type finding = {
    typed taint pass (detlint_taint.ml); their waivers parse here so the
    syntactic pass neither W0s them nor suppresses anything with them. *)
 let rule_ids =
-  [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "T1" ]
+  [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "T1" ]
 
 (* Everything that can appear as a finding's [rule], for the JSON report. *)
 let all_rule_ids = rule_ids @ [ "W0"; "W1"; "P0" ]
@@ -107,6 +115,9 @@ let rule_doc = function
   | "R9" ->
       "mutable state escaping the supervised chunk boundary (typed taint \
        pass)"
+  | "R10" ->
+      "Fault.fire/Fault.trip outside the injector-mediated call paths (the \
+       chaos-replay quarantine)"
   | "T1" ->
       "nondeterminism source reaching a protected sink path (typed taint \
        pass)"
@@ -232,6 +243,38 @@ let in_scope_r6 relpath =
   not
     (has_prefix ~prefix:"lib/obs/" relpath
     || has_prefix ~prefix:"bench/" relpath)
+
+(* The chaos-replay quarantine: fault-site triggers are confined to the
+   injector engine and the supervised runner stack that threads it.
+   Anywhere else, a fire/trip would inject failures outside the
+   retry/quarantine machinery, and [--fault-plan] replays would no longer
+   place every fault identically. Plan construction and parsing are legal
+   anywhere; the unit-test tree is exempt because tests exercise the
+   injector directly. *)
+let r10_trigger_files =
+  [
+    "lib/sim/fault.ml";
+    "lib/sim/parallel.ml";
+    "lib/sim/checkpoint.ml";
+    "lib/sim/runner.ml";
+    "lib/core/fault.ml";
+    "lib/core/supervise.ml";
+  ]
+
+let in_scope_r10 relpath =
+  (not (List.mem relpath r10_trigger_files))
+  && not (has_prefix ~prefix:"test/" relpath)
+
+(* "Fault.fire" / "Sim.Fault.trip" / "Core.Fault.fire" — any dotted path
+   whose last two components name a fault-site trigger. *)
+let is_fault_trigger p =
+  let tail_matches suffix =
+    p = suffix
+    ||
+    let ls = String.length suffix and lp = String.length p in
+    lp > ls + 1 && String.sub p (lp - ls - 1) (ls + 1) = "." ^ suffix
+  in
+  tail_matches "Fault.fire" || tail_matches "Fault.trip"
 
 (* ------------------------------------------------------------------ *)
 (* Waiver attribute parsing                                            *)
@@ -489,6 +532,19 @@ class linter ~relpath ~mutable_globals ~(emit : finding -> unit)
             "Obs.Clock (the one sanctioned wall-clock entry point) may only \
              be called from lib/obs and bench; emit an Obs.Event and derive \
              timings in the diagnostic consumer instead";
+      if is_fault_trigger p && in_scope_r10 relpath then
+        self#report ~rule:"R10" ~loc
+          ~message:
+            (Printf.sprintf
+               "fault-site trigger %s outside the injector-mediated call \
+                paths"
+               p)
+          ~hint:
+            "Fault.fire/Fault.trip may only run inside the fault engine and \
+             the supervised runner stack (lib/sim/fault.ml, parallel.ml, \
+             checkpoint.ml, runner.ml, lib/core/fault.ml, supervise.ml); \
+             thread a fault plan through Sim.Runner.run_trials_supervised / \
+             Core.Supervise.create instead of tripping sites ad hoc";
       if p = "compare" && in_scope_r5 relpath then
         self#report ~rule:"R5" ~loc
           ~message:"polymorphic compare in a determinism-critical library"

@@ -78,6 +78,11 @@ let sink_roots =
     Fn "Metrics.merge";
     Mod "Obs.Metrics";
     Mod "Checkpoint";
+    (* The fault injector sits on the supervised fold's hot path (every
+       chunk body and checkpoint call trips it), so its own functions
+       must stay deterministic too: fault placement may depend only on
+       the plan and the hit counters, never on a nondet source. *)
+    Mod "Fault";
   ]
 
 (* Protocol hot paths are reached through first-class records the static
