@@ -3,7 +3,10 @@
    @runtest). Exits non-zero on any divergence between the engine's
    aggregate delivery and the legacy materialized exchange, so a fast-path
    regression fails plain `dune runtest` — the QCheck differential
-   properties in test_delivery.ml then localize it.
+   properties in test_delivery.ml then localize it. The cohort and
+   bitkernel legs replay the same discipline against the compressed and
+   bit-packed engines (outcomes, traces, metrics digest, event-stream
+   digest — any byte of difference fails tier-1).
 
    Also smoke-validates the observability layer: one captured band-control
    workload at --jobs 1 vs --jobs 3 must produce byte-identical metrics
@@ -82,6 +85,19 @@ let obs_smoke () =
   print_endline
     "bench-smoke: obs capture identical at jobs 1 and 3 -> results/metrics.json"
 
+(* Run one engine invocation under a fresh metrics registry + recorder;
+   returns the outcome with both digests, so engine comparisons cover the
+   full observability stream, not just outcomes. *)
+let observed run =
+  let m = Obs.Metrics.create () and rc = Obs.Recorder.create () in
+  let sink =
+    Obs.Sink.create (fun ev ->
+        Obs.Metrics.absorb_event m ev;
+        Obs.Recorder.push rc ev)
+  in
+  let o = run sink in
+  (o, Obs.Metrics.digest m, Obs.Recorder.digest rc)
+
 (* Cohort-vs-concrete replay: the compressed engine must be byte-identical
    to Sim.Engine on outcomes, traces, and the full observability stream —
    including under the cohort-native band adversary. Any byte of
@@ -89,16 +105,6 @@ let obs_smoke () =
 let cohort_compare name protocol ?observer adversary cohort_adversary ~n ~t
     ~seed =
   let inputs = Prng.Sample.random_bits (Prng.Rng.create (seed + 1)) n in
-  let observed run =
-    let m = Obs.Metrics.create () and rc = Obs.Recorder.create () in
-    let sink =
-      Obs.Sink.create (fun ev ->
-          Obs.Metrics.absorb_event m ev;
-          Obs.Recorder.push rc ev)
-    in
-    let o = run sink in
-    (o, Obs.Metrics.digest m, Obs.Recorder.digest rc)
-  in
   let o1, m1, r1 =
     observed (fun sink ->
         Sim.Engine.run ~record_trace:true ?observer ~sink ~max_rounds:2000
@@ -145,6 +151,67 @@ let cohort_smoke () =
       ~n:48 ~t:24 ~seed
   done;
   print_endline "bench-smoke: cohort engine byte-identical to concrete"
+
+(* Bitkernel-vs-concrete replay: same contract as the cohort leg. The
+   null adversary keeps every round packed; band-control and the
+   valency-steer killer force adaptive-kill fallbacks and re-packs, so
+   both halves of the kernel are diffed. *)
+let bitkernel_compare name protocol ?observer adversary ~n ~t ~seed =
+  let inputs = Prng.Sample.random_bits (Prng.Rng.create (seed + 1)) n in
+  let o1, m1, r1 =
+    observed (fun sink ->
+        Sim.Engine.run ~record_trace:true ?observer ~sink ~max_rounds:2000
+          protocol (adversary ()) ~inputs ~t
+          ~rng:(Prng.Rng.create seed))
+  in
+  let o2, m2, r2 =
+    observed (fun sink ->
+        Sim.Bitkernel.run ~record_trace:true ?observer ~sink ~max_rounds:2000
+          protocol (adversary ()) ~inputs ~t
+          ~rng:(Prng.Rng.create seed))
+  in
+  check (name ^ ": outcome+trace") (outcomes_equal o1 o2);
+  check (name ^ ": metrics digest") (m1 = m2);
+  check (name ^ ": event-stream digest") (r1 = r2)
+
+let bitkernel_smoke () =
+  let rules = Core.Onesided.paper in
+  for seed = 1 to 3 do
+    bitkernel_compare
+      (Printf.sprintf "bitkernel synran n=96 vs null (seed %d)" seed)
+      (Core.Synran.protocol 96) ~observer:Core.Synran.msg_is_one
+      (fun () -> Sim.Adversary.null)
+      ~n:96 ~t:0 ~seed;
+    bitkernel_compare
+      (Printf.sprintf "bitkernel synran n=96 vs band-control (seed %d)" seed)
+      (Core.Synran.protocol 96) ~observer:Core.Synran.msg_is_one
+      (fun () ->
+        Core.Lb_adversary.band_control ~rules
+          ~bit_of_msg:Core.Synran.bit_of_msg ())
+      ~n:96 ~t:95 ~seed;
+    bitkernel_compare
+      (Printf.sprintf "bitkernel synran n=64 vs valency-steer (seed %d)" seed)
+      (Core.Synran.protocol 64) ~observer:Core.Synran.msg_is_one
+      (fun () ->
+        Baselines.Adversaries.valency_steer ~per_round:2
+          ~msg_is_one:Core.Synran.msg_is_one ())
+      ~n:64 ~t:32 ~seed;
+    bitkernel_compare
+      (Printf.sprintf "bitkernel floodset n=48 vs null (seed %d)" seed)
+      (Baselines.Floodset.protocol ~rounds:9 ())
+      (fun () -> Sim.Adversary.null)
+      ~n:48 ~t:0 ~seed;
+    bitkernel_compare
+      (Printf.sprintf "bitkernel floodset n=48 vs valency-steer (seed %d)"
+         seed)
+      (Baselines.Floodset.protocol ~rounds:9 ())
+      (fun () ->
+        Baselines.Adversaries.valency_steer ~per_round:2
+          ~msg_is_one:(fun (m : Baselines.Floodset.msg) -> m.has_one)
+          ())
+      ~n:48 ~t:24 ~seed
+  done;
+  print_endline "bench-smoke: bitkernel engine byte-identical to concrete"
 
 (* Chaos replay: a pinned survivable fault plan — three faults across
    three sites, one of them a torn checkpoint write that the retry must
@@ -294,6 +361,7 @@ let () =
       ~n:32 ~t:8 ~seed
   done;
   cohort_smoke ();
+  bitkernel_smoke ();
   obs_smoke ();
   chaos_smoke ();
   if !failures > 0 then begin

@@ -106,13 +106,24 @@ let fault_seed_arg =
 let engine_arg =
   Arg.(
     value
-    & opt (enum [ ("concrete", `Concrete); ("cohort", `Cohort) ]) `Concrete
+    & opt
+        (enum
+           [
+             ("concrete", `Concrete);
+             ("cohort", `Cohort);
+             ("bitkernel", `Bitkernel);
+             ("auto", `Auto);
+           ])
+        `Concrete
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Execution engine: concrete (per-process arrays) or cohort \
-           (population-compressed equivalence classes; byte-identical \
-           results, per-round cost scales with distinct states instead of \
-           N — use for N >= 10^5).")
+          "Execution engine: concrete (per-process arrays), cohort \
+           (population-compressed equivalence classes; per-round cost \
+           scales with distinct states instead of N), bitkernel \
+           (bit-packed binary registers; word-parallel no-kill rounds), or \
+           auto (concrete up to N=4096, then the first capable of \
+           bitkernel/cohort/concrete; the choice lands in the run \
+           manifest). All engines produce byte-identical results.")
 
 let t_arg =
   Arg.(

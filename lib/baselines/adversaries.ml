@@ -94,3 +94,47 @@ let drip ~per_round =
         in
         take per_round (Adversary.active_pids view) |> take_budget view);
   }
+
+let valency_steer ?(margin = 0.15) ~per_round ~msg_is_one () =
+  if margin < 0.0 || margin > 0.5 then invalid_arg "Adversaries.valency_steer";
+  if per_round < 0 then invalid_arg "Adversaries.valency_steer: per_round";
+  {
+    Adversary.name = Printf.sprintf "valency-steer[m=%.2f,%d/round]" margin per_round;
+    plan =
+      (fun view rng ->
+        (* Tally the staged broadcasts; when the one-fraction drifts out
+           of the central band, kill senders of the majority bit with
+           random partial deliveries to pull the population back toward
+           bivalence. Adaptive kills + partial sends + adversary-stream
+           draws: exactly the individuating behaviour that forces a
+           packed engine onto its scalar fallback. *)
+        let ones = ref 0 and total = ref 0 in
+        Adversary.iter_pending view (fun _ m ->
+            incr total;
+            if msg_is_one m then incr ones);
+        if !total = 0 then []
+        else begin
+          let frac = float_of_int !ones /. float_of_int !total in
+          let majority_one = frac > 0.5 in
+          if frac >= 0.5 -. margin && frac <= 0.5 +. margin then []
+          else begin
+            let victims = ref [] in
+            Adversary.iter_pending view (fun pid m ->
+                if msg_is_one m = majority_one then victims := pid :: !victims);
+            (* iter_pending is ascending; restore that order. *)
+            let victims = List.rev !victims in
+            let rec take n = function
+              | [] -> []
+              | _ when n = 0 -> []
+              | pid :: rest ->
+                  let recipients =
+                    Adversary.active_pids view
+                    |> List.filter (fun _ -> Prng.Rng.bool rng)
+                  in
+                  Adversary.kill_after_send pid ~recipients
+                  :: take (n - 1) rest
+            in
+            take per_round victims |> take_budget view
+          end
+        end);
+  }

@@ -35,3 +35,17 @@ val drip : per_round:int -> ('s, 'm) Sim.Adversary.t
 (** Kills exactly [per_round] active processes (lowest pids) every round
     until the budget runs out — the naive budget-spreading strategy the
     lower bound's adversary improves upon. *)
+
+val valency_steer :
+  ?margin:float ->
+  per_round:int ->
+  msg_is_one:('msg -> bool) ->
+  unit ->
+  ('state, 'msg) Sim.Adversary.t
+(** A bivalence-steering adversary: whenever the fraction of staged
+    one-messages leaves the central band [0.5 - margin, 0.5 + margin],
+    it kills up to [per_round] majority-bit senders, each with a random
+    partial delivery (recipients drawn from the adversary stream). Its
+    kills are adaptive and individuating — the adversary every batched
+    engine must handle through its scalar fallback — while still letting
+    long executions stay balanced enough to keep running. *)

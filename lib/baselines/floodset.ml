@@ -84,23 +84,84 @@ let protocol ~rounds ?(default = 0) () =
     let st = sub.Sim.Protocol.sub_state in
     { has_zero = st.has_zero; has_one = st.has_one }
   in
-  Sim.Protocol.with_aggregate
-    ~name:(Printf.sprintf "floodset[r=%d]" rounds)
-    ~init ~phase_a
-    ~decision:(fun s -> s.decision)
-    ~halted:(fun s -> Option.is_some s.decision)
-    (Sim.Protocol.Aggregate
-       {
-         init = (fun () -> (false, false));
-         absorb;
-         finish;
-         cohort =
-           Some
-             {
-               Sim.Protocol.c_equal = state_equal;
-               c_hash = state_hash;
-               c_phase_a;
-               c_absorb;
-               c_msg;
-             };
-       })
+  (* Bit-plane operations: the value word is the whole per-process state
+     (registers has_zero = bit 0, has_one = bit 1); FloodSet draws no
+     coins. A process's own flags are subsumed by the sender tallies
+     (own message always delivered), so the flooded union — and hence
+     the final decision — is uniform, and every round is a word-level
+     [Fill]. *)
+  let bo_pack s =
+    (if s.has_zero then 1 else 0) lor ((if s.has_one then 1 else 0) lsl 1)
+  in
+  let bo_unpack t regs =
+    { t with has_zero = regs land 1 = 1; has_one = (regs lsr 1) land 1 = 1 }
+  in
+  let bo_uniform (a : state) (b : state) =
+    a.rounds_total = b.rounds_total && a.default = b.default
+    && a.rounds_done = b.rounds_done
+    && match (a.decision, b.decision) with
+       | None, None -> true
+       | Some x, Some y -> x = y
+       | None, Some _ | Some _, None -> false
+  in
+  let bo_msg s ~priv:_ = { has_zero = s.has_zero; has_one = s.has_one } in
+  let bo_step s ~round:_ ~nrecv:_ ~tallies =
+    let z = tallies.(0) > 0 and o = tallies.(1) > 0 in
+    let rounds_done = s.rounds_done + 1 in
+    if rounds_done < s.rounds_total then
+      Some
+        {
+          Sim.Protocol.ws_state = { s with rounds_done };
+          ws_regs = [| Fill z; Fill o |];
+          ws_decide = None;
+          ws_halt = false;
+        }
+    else
+      let v =
+        match (z, o) with
+        | true, false -> 0
+        | false, true -> 1
+        | true, true -> s.default
+        | false, false ->
+            (* Unreachable: a process always sees its own input. *)
+            assert false
+      in
+      Some
+        {
+          Sim.Protocol.ws_state = { s with rounds_done; decision = Some v };
+          ws_regs = [| Fill z; Fill o |];
+          ws_decide = Some (Decide_const v);
+          ws_halt = true;
+        }
+  in
+  Sim.Protocol.with_bitops
+    (Sim.Protocol.with_aggregate
+       ~name:(Printf.sprintf "floodset[r=%d]" rounds)
+       ~init ~phase_a
+       ~decision:(fun s -> s.decision)
+       ~halted:(fun s -> Option.is_some s.decision)
+       (Sim.Protocol.Aggregate
+          {
+            init = (fun () -> (false, false));
+            absorb;
+            finish;
+            cohort =
+              Some
+                {
+                  Sim.Protocol.c_equal = state_equal;
+                  c_hash = state_hash;
+                  c_phase_a;
+                  c_absorb;
+                  c_msg;
+                };
+          }))
+    {
+      Sim.Protocol.bo_width = 2;
+      bo_pack;
+      bo_unpack;
+      bo_uniform;
+      bo_coin_reg = None;
+      bo_aux_draw = None;
+      bo_msg;
+      bo_step;
+    }

@@ -34,6 +34,7 @@ let of_eval ?(sample = Prng.Rng.bit) ~name ~eval n =
     decision = outcome;
     halted = (fun s -> Option.is_some s.outcome);
     aggregate = None;
+    bitops = None;
   }
 
 let of_game (g : Game.t) =

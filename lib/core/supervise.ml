@@ -25,6 +25,7 @@ type result = {
   chunk_retries : int;
   completed_trials : int;
   total_trials : int;
+  engines : string list;
   metrics : Obs.Metrics.t;
 }
 
@@ -41,6 +42,9 @@ type ctx = {
   mutable chunk_retries : int;
   mutable completed_trials : int;
   mutable total_trials : int;
+  mutable engines_rev : string list;
+      (* Engines the experiment's runner folds executed on, most recent
+         first, deduplicated — [`Auto] resolution made auditable. *)
   mutable last_failure : Sim.Parallel.chunk_failed option;
   obs_events : Obs.Recorder.t;
       (* Run-level supervision events (watchdog fires, chunk retries and
@@ -65,6 +69,7 @@ let create ?deadline_s ?checkpoints ?(resume = false) ?retries ?fault () =
     chunk_retries = 0;
     completed_trials = 0;
     total_trials = 0;
+    engines_rev = [];
     last_failure = None;
     obs_events = Obs.Recorder.create ();
   }
@@ -184,7 +189,9 @@ let commit sup (r : Sim.Runner.report) =
       c.chunks_done <- c.chunks_done + r.Sim.Runner.chunks_done;
       c.chunks_resumed <- c.chunks_resumed + r.Sim.Runner.chunks_resumed;
       c.completed_trials <- c.completed_trials + r.Sim.Runner.completed_trials;
-      c.total_trials <- c.total_trials + r.Sim.Runner.total_trials);
+      c.total_trials <- c.total_trials + r.Sim.Runner.total_trials;
+      if not (List.mem r.Sim.Runner.engine_used c.engines_rev) then
+        c.engines_rev <- r.Sim.Runner.engine_used :: c.engines_rev);
   note_retried sup r.Sim.Runner.retried;
   match r.Sim.Runner.failures with
   | f :: _ ->
@@ -201,6 +208,7 @@ let run_experiment ctx ~id f =
   ctx.chunk_retries <- 0;
   ctx.completed_trials <- 0;
   ctx.total_trials <- 0;
+  ctx.engines_rev <- [];
   ctx.last_failure <- None;
   ctx.deadline_at <- Option.map (fun d -> now () +. d) ctx.deadline_s;
   let t0 = now () in
@@ -231,6 +239,7 @@ let run_experiment ctx ~id f =
       chunk_retries = ctx.chunk_retries;
       completed_trials = ctx.completed_trials;
       total_trials = ctx.total_trials;
+      engines = List.rev ctx.engines_rev;
       metrics;
     }
   in
@@ -343,16 +352,22 @@ let write_manifest ?fault ~path ~profile ~seed ~jobs ~resume ~deadline_s
             | Failed { message; _ } ->
                 Printf.sprintf "\"%s\"" (json_escape message)
           in
+          let engines =
+            String.concat ", "
+              (List.map
+                 (fun e -> Printf.sprintf "\"%s\"" (json_escape e))
+                 r.engines)
+          in
           Printf.fprintf oc
             "    { \"id\": \"%s\", \"status\": \"%s\", \"elapsed_s\": %.3f, \
              \"chunks_done\": %d, \"chunks_resumed\": %d, \
              \"chunk_retries\": %d, \"completed_trials\": %d, \
-             \"total_trials\": %d, \"metrics_digest\": \"%s\", \"failure\": \
-             %s }%s\n"
+             \"total_trials\": %d, \"engines\": [%s], \"metrics_digest\": \
+             \"%s\", \"failure\": %s }%s\n"
             (json_escape r.id)
             (status_string r.status)
             r.elapsed_s r.chunks_done r.chunks_resumed r.chunk_retries
-            r.completed_trials r.total_trials
+            r.completed_trials r.total_trials engines
             (Obs.Metrics.digest r.metrics)
             failure
             (if i = last then "" else ","))

@@ -52,6 +52,13 @@ type result = {
       (** Trials folded in by {!Sim.Runner}-based loops (the inline E5/E8
           folds report chunks only). *)
   total_trials : int;
+  engines : string list;
+      (** Execution engines the experiment's runner folds actually used
+          (["concrete"], ["cohort"], ["bitkernel"]), deduplicated in
+          first-use order — this is where [`Auto]'s resolution becomes
+          auditable. Empty for inline folds that never go through
+          {!commit}. Manifest-only, like [elapsed_s]: engine choice never
+          affects results, so it stays out of [metrics]. *)
   metrics : Obs.Metrics.t;
       (** Per-experiment supervision registry ([supervise.chunks_done],
           [supervise.completed_trials], ...; [supervise.failures] /
@@ -145,9 +152,10 @@ val hooks :
 
 val commit : ctx option -> Sim.Runner.report -> Sim.Runner.summary
 (** Fold a supervised runner report into the experiment: accumulate chunk
-    and trial counts, then either return the complete summary, re-raise
-    the first chunk failure (recorded for the manifest, original backtrace
-    preserved), or raise {!Sim.Parallel.Cancelled} on a fired watchdog. *)
+    and trial counts, record the report's [engine_used] for the manifest,
+    then either return the complete summary, re-raise the first chunk
+    failure (recorded for the manifest, original backtrace preserved), or
+    raise {!Sim.Parallel.Cancelled} on a fired watchdog. *)
 
 val commit_fold :
   ctx option ->
@@ -182,7 +190,8 @@ val write_manifest :
 (** Write the machine-readable run manifest (schema [run_manifest/v1]):
     run parameters, one record per experiment — id, status
     ([completed|failed|timed_out]), elapsed seconds, chunk/trial/retry
-    progress, the experiment's observability fingerprint
+    progress, the engines the trials executed on ([engines], the
+    [`Auto]-resolution audit trail), the experiment's observability fingerprint
     ([metrics_digest], the {!Obs.Metrics.digest} of {!result.metrics}),
     failure message — and the failed-experiment count. [fault] trips the
     {!Sim.Fault.Manifest_write} site on entry (run-scoped, not retried:

@@ -340,6 +340,183 @@ let cohort_ops =
     c_msg;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Bit-plane operations                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Register layout: bit 0 = b, bit 1 = coin, bit 2 = has_zero, bit 3 =
+   has_one; everything else is template-uniform across active processes.
+   Two invariants carry the reconstruction:
+   - an active process's [output] is [None] or [Some b] — output is only
+     assigned at the two halt points, each time from b — so [bo_unpack]
+     rebuilds the value from the b register and the template's is-Some;
+   - own messages are always delivered, so a process's own has_zero /
+     has_one is subsumed by the round's sender tallies and the merged
+     value set of Lemma 4.3 is the same for every receiver — which is
+     what makes the Switching/Deterministic transitions uniform [Fill]s. *)
+
+let bo_pack s =
+  s.b lor (s.coin lsl 1)
+  lor ((if s.has_zero then 1 else 0) lsl 2)
+  lor ((if s.has_one then 1 else 0) lsl 3)
+
+let bo_unpack t regs =
+  let b = regs land 1 in
+  {
+    t with
+    b;
+    coin = (regs lsr 1) land 1;
+    has_zero = (regs lsr 2) land 1 = 1;
+    has_one = (regs lsr 3) land 1 = 1;
+    output = (match t.output with None -> None | Some _ -> Some b);
+  }
+
+(* Non-register fields only; [output] compares by is-Some because its
+   value is register-derived (always the owner's b). *)
+let bo_uniform s1 s2 =
+  Bool.equal s1.decided_flag s2.decided_flag
+  && Bool.equal (Option.is_some s1.output) (Option.is_some s2.output)
+  && Bool.equal s1.halted s2.halted
+  && (match (s1.stage, s2.stage) with
+     | Probabilistic, Probabilistic | Switching, Switching -> true
+     | Deterministic { left = l1 }, Deterministic { left = l2 } -> l1 = l2
+     | (Probabilistic | Switching | Deterministic _), _ -> false)
+  && s1.n1 = s2.n1 && s1.n2 = s2.n2 && s1.n3 = s2.n3
+  && s1.rules == s2.rules
+  && (match (s1.coin_mode, s2.coin_mode) with
+     | Local_flip, Local_flip | Leader_priority, Leader_priority -> true
+     | Shared_oracle a, Shared_oracle b -> a = b
+     | (Local_flip | Leader_priority | Shared_oracle _), _ -> false)
+  && Float.equal s1.threshold s2.threshold
+  && s1.det_rounds = s2.det_rounds
+
+let bo_msg s ~priv =
+  let det =
+    match s.stage with
+    | Deterministic _ -> Some (s.has_zero, s.has_one)
+    | Probabilistic | Switching -> None
+  in
+  { bit = s.b; prio = priv; det }
+
+let keep4 = [| Sim.Protocol.Keep; Keep; Keep; Keep |]
+
+(* The word-level [finish]: tallies.(0/2/3) count senders with b /
+   has_zero / has_one set. Everything [step_probabilistic] and friends
+   read from the accumulator is recoverable from those counts — except
+   the leader argmax, so Leader_priority flip rounds return [None] and
+   run through the scalar fallback. *)
+let bo_step s ~round ~nrecv ~tallies =
+  let ones = tallies.(0) in
+  let zeros = nrecv - ones in
+  match s.stage with
+  | Switching ->
+      (* [merged_values]: det words are all (false, false) here and own b
+         is among the senders, so the merge is the sender-value OR. *)
+      Some
+        {
+          Sim.Protocol.ws_state =
+            { s with stage = Deterministic { left = s.det_rounds } };
+          ws_regs = [| Keep; Keep; Fill (zeros > 0); Fill (ones > 0) |];
+          ws_decide = None;
+          ws_halt = false;
+        }
+  | Deterministic { left } ->
+      let hz = zeros > 0 || tallies.(2) > 0 in
+      let ho = ones > 0 || tallies.(3) > 0 in
+      let left = left - 1 in
+      if left = 0 then
+        let v = det_decision ~has_zero:hz ~has_one:ho in
+        Some
+          {
+            Sim.Protocol.ws_state =
+              {
+                s with
+                stage = Deterministic { left };
+                output = Some 0 (* value rebuilt from b by bo_unpack *);
+                halted = true;
+              };
+            ws_regs = [| Fill (v = 1); Keep; Fill hz; Fill ho |];
+            ws_decide = Some (Decide_const v);
+            ws_halt = true;
+          }
+      else
+        Some
+          {
+            Sim.Protocol.ws_state = { s with stage = Deterministic { left } };
+            ws_regs = [| Keep; Keep; Fill hz; Fill ho |];
+            ws_decide = None;
+            ws_halt = false;
+          }
+  | Probabilistic ->
+      if float_of_int nrecv < s.threshold then
+        Some
+          {
+            Sim.Protocol.ws_state =
+              { s with stage = Switching; n1 = nrecv; n2 = s.n1; n3 = s.n2 };
+            ws_regs = keep4;
+            ws_decide = None;
+            ws_halt = false;
+          }
+      else if s.decided_flag && 10 * (s.n3 - nrecv) <= s.n2 then
+        Some
+          {
+            Sim.Protocol.ws_state =
+              {
+                s with
+                output = Some 0 (* value rebuilt from b by bo_unpack *);
+                halted = true;
+                n1 = nrecv;
+                n2 = s.n1;
+                n3 = s.n2;
+              };
+            ws_regs = keep4;
+            ws_decide = Some (Decide_reg 0);
+            ws_halt = true;
+          }
+      else begin
+        let shifted = { s with n1 = nrecv; n2 = s.n1; n3 = s.n2 } in
+        let classified v decided_flag =
+          Some
+            {
+              Sim.Protocol.ws_state = { shifted with decided_flag };
+              ws_regs = [| Fill (v = 1); Keep; Fill (v = 0); Fill (v = 1) |];
+              ws_decide = None;
+              ws_halt = false;
+            }
+        in
+        match Onesided.classify s.rules ~ones ~zeros ~n_prev:s.n1 with
+        | Onesided.Decide v -> classified v true
+        | Onesided.Propose v -> classified v false
+        | Onesided.Flip -> (
+            match s.coin_mode with
+            | Local_flip ->
+                (* b := coin; the value set keeps tracking b. *)
+                Some
+                  {
+                    Sim.Protocol.ws_state = { shifted with decided_flag = false };
+                    ws_regs = [| Copy 1; Keep; Not 1; Copy 1 |];
+                    ws_decide = None;
+                    ws_halt = false;
+                  }
+            | Shared_oracle seed -> classified (oracle_bit ~seed ~round) false
+            | Leader_priority ->
+                (* The flip needs the max-(prio, pid) leader's bit — a
+                   per-process scan of the private payloads. *)
+                None)
+      end
+
+let bitops =
+  {
+    Sim.Protocol.bo_width = 4;
+    bo_pack;
+    bo_unpack;
+    bo_uniform;
+    bo_coin_reg = Some 1;
+    bo_aux_draw = Some (fun _ rng -> Prng.Rng.int rng 1_000_000_000);
+    bo_msg;
+    bo_step;
+  }
+
 let protocol ?(rules = Onesided.paper) ?(coin = Local_flip) n =
   Onesided.validate rules;
   if n < 1 then invalid_arg "Synran.protocol";
@@ -384,16 +561,18 @@ let protocol ?(rules = Onesided.paper) ?(coin = Local_flip) n =
     | Switching -> step_switching s ~acc
     | Deterministic { left } -> step_deterministic s ~left ~acc
   in
-  Sim.Protocol.with_aggregate
-    ~name:
-      (Printf.sprintf "synran[%s%s,n=%d]" rules.Onesided.label
-         (match coin with
-         | Local_flip -> ""
-         | Leader_priority -> ",leader"
-         | Shared_oracle _ -> ",oracle")
-         n)
-    ~init ~phase_a
-    ~decision:(fun s -> s.output)
-    ~halted:(fun s -> s.halted)
-    (Sim.Protocol.Aggregate
-       { init = acc_init; absorb = acc_absorb; finish; cohort = Some cohort_ops })
+  Sim.Protocol.with_bitops
+    (Sim.Protocol.with_aggregate
+       ~name:
+         (Printf.sprintf "synran[%s%s,n=%d]" rules.Onesided.label
+            (match coin with
+            | Local_flip -> ""
+            | Leader_priority -> ",leader"
+            | Shared_oracle _ -> ",oracle")
+            n)
+       ~init ~phase_a
+       ~decision:(fun s -> s.output)
+       ~halted:(fun s -> s.halted)
+       (Sim.Protocol.Aggregate
+          { init = acc_init; absorb = acc_absorb; finish; cohort = Some cohort_ops }))
+    bitops

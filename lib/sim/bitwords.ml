@@ -1,0 +1,60 @@
+(* Word-level bit-plane primitives for the bit-packed kernel.
+
+   A "plane" stores one binary register for every process: lane [i land
+   (lanes - 1)]... no — lane [i mod lanes] of word [i / lanes] holds the
+   bit for process [i].  OCaml's native [int] gives [Sys.int_size] usable
+   lanes per word (63 on 64-bit platforms); we deliberately use the full
+   width rather than rounding down to 64, so masks like [full] are just
+   [-1] and no boxing ever happens. *)
+
+let lanes = Sys.int_size
+let words_for n = (n + lanes - 1) / lanes
+
+(* All [lanes] bits set.  [-1] is the all-ones pattern for OCaml's
+   tagged int, whatever the platform width. *)
+let full = -1
+
+let mask_upto k =
+  (* Bits [0, k): [1 lsl k] is unspecified for k >= int_size, so guard. *)
+  if k >= lanes then full else (1 lsl k) - 1
+
+(* SWAR popcount.  The classic 64-bit constants (0x5555555555555555...)
+   overflow OCaml's 63-bit literals, so count the two 32-bit halves
+   separately; the high half is at most 31 bits wide after the shift. *)
+let pop32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* The C version relies on uint32 truncation of the multiply; OCaml's
+     wider int keeps sums above byte 3, so mask the count back out. *)
+  ((x * 0x01010101) lsr 24) land 0xFF
+
+let popcount w = pop32 (w land 0xFFFFFFFF) + pop32 ((w lsr 32) land 0x7FFFFFFF)
+
+let get plane i = (plane.(i / lanes) lsr (i mod lanes)) land 1 = 1
+
+let set plane i b =
+  let w = i / lanes and bit = 1 lsl (i mod lanes) in
+  if b then plane.(w) <- plane.(w) lor bit else plane.(w) <- plane.(w) land lnot bit
+
+(* Population of [plane land mask], both of length [nw]. *)
+let popcount_masked plane mask nw =
+  let c = ref 0 in
+  for w = 0 to nw - 1 do
+    c := !c + popcount (plane.(w) land mask.(w))
+  done;
+  !c
+
+(* Visit the index of every set bit of [mask] (length [nw]) in ascending
+   order — the same order a scalar per-process loop would use. *)
+let iter_ones mask nw f =
+  for w = 0 to nw - 1 do
+    let m = ref mask.(w) in
+    let base = w * lanes in
+    while !m <> 0 do
+      let bit = !m land - !m in
+      (* [bit] has a single bit set; its index is popcount (bit - 1). *)
+      f (base + popcount (bit - 1));
+      m := !m lxor bit
+    done
+  done

@@ -1,0 +1,33 @@
+(** Word-level bit-plane primitives shared by {!Bitkernel} and its tests.
+
+    A plane is an [int array] holding one binary register per process:
+    lane [i mod lanes] of word [i / lanes] is process [i]'s bit. *)
+
+val lanes : int
+(** Usable bits per word — [Sys.int_size] (63 on 64-bit platforms). *)
+
+val words_for : int -> int
+(** [words_for n] is the plane length needed for [n] processes. *)
+
+val full : int
+(** All [lanes] bits set (the untagged view of [-1]). *)
+
+val mask_upto : int -> int
+(** [mask_upto k] has bits [0, k) set; returns {!full} when [k >= lanes]. *)
+
+val popcount : int -> int
+(** Number of set bits among the [lanes] usable bits of a word. *)
+
+val get : int array -> int -> bool
+(** [get plane i] reads process [i]'s bit. *)
+
+val set : int array -> int -> bool -> unit
+(** [set plane i b] writes process [i]'s bit. *)
+
+val popcount_masked : int array -> int array -> int -> int
+(** [popcount_masked plane mask nw] is the population of
+    [plane land mask] over the first [nw] words. *)
+
+val iter_ones : int array -> int -> (int -> unit) -> unit
+(** [iter_ones mask nw f] calls [f i] for every set bit index [i] of
+    [mask], in ascending order — matching a scalar per-process loop. *)

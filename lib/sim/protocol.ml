@@ -25,6 +25,28 @@ type ('state, 'msg) aggregate =
     }
       -> ('state, 'msg) aggregate
 
+type reg_src = Keep | Fill of bool | Copy of int | Not of int
+type decide_src = Decide_const of int | Decide_reg of int
+
+type 'state word_step = {
+  ws_state : 'state;
+  ws_regs : reg_src array;
+  ws_decide : decide_src option;
+  ws_halt : bool;
+}
+
+type ('state, 'msg) bitops = {
+  bo_width : int;
+  bo_pack : 'state -> int;
+  bo_unpack : 'state -> int -> 'state;
+  bo_uniform : 'state -> 'state -> bool;
+  bo_coin_reg : int option;
+  bo_aux_draw : ('state -> Prng.Rng.t -> int) option;
+  bo_msg : 'state -> priv:int -> 'msg;
+  bo_step :
+    'state -> round:int -> nrecv:int -> tallies:int array -> 'state word_step option;
+}
+
 type ('state, 'msg) t = {
   name : string;
   init : n:int -> pid:int -> input:int -> 'state;
@@ -33,16 +55,22 @@ type ('state, 'msg) t = {
   decision : 'state -> int option;
   halted : 'state -> bool;
   aggregate : ('state, 'msg) aggregate option;
+  bitops : ('state, 'msg) bitops option;
 }
 
 let decided p s = Option.is_some (p.decision s)
 
-let legacy p = { p with aggregate = None }
+let legacy p = { p with aggregate = None; bitops = None }
 
 let cohort_capable p =
   match p.aggregate with
   | Some (Aggregate { cohort = Some _; _ }) -> true
   | Some (Aggregate { cohort = None; _ }) | None -> false
+
+let bitkernel_capable p =
+  (* Bitkernel needs the aggregate too: kill rounds fall back to the
+     engine's shared-aggregate delivery, never the legacy exchange. *)
+  Option.is_some p.bitops && Option.is_some p.aggregate
 
 (* Deriving phase_b from the aggregate makes the two delivery paths agree
    by construction: the legacy path folds [absorb] over the received array
@@ -63,4 +91,18 @@ let with_aggregate ~name ~init ~phase_a ~decision ~halted aggregate =
     decision;
     halted;
     aggregate = Some aggregate;
+    bitops = None;
   }
+
+let with_bitops p bitops =
+  if Option.is_none p.aggregate then
+    invalid_arg
+      (Printf.sprintf
+         "Protocol.with_bitops: %s declares no aggregate (Bitkernel's \
+          fallback path requires one)"
+         p.name);
+  (match bitops.bo_coin_reg with
+  | Some r when r < 0 || r >= bitops.bo_width ->
+      invalid_arg "Protocol.with_bitops: bo_coin_reg out of range"
+  | Some _ | None -> ());
+  { p with bitops = Some bitops }

@@ -91,6 +91,81 @@ type ('state, 'msg) aggregate =
     O(n) aggregate for all receivers instead of n independent O(n) scans.
     The accumulator type is existential: each protocol picks its own. *)
 
+type reg_src =
+  | Keep  (** The register keeps its pre-round value. *)
+  | Fill of bool  (** Every active process's register becomes this bit. *)
+  | Copy of int  (** Copy register [i]'s {e pre-round} plane. *)
+  | Not of int  (** Complement of register [i]'s {e pre-round} plane. *)
+(** Where a register's post-round plane comes from. [Copy]/[Not] read the
+    planes as they stood {e before} the transition (simultaneous update),
+    so a step may both copy register [i] and overwrite it. *)
+
+type decide_src =
+  | Decide_const of int  (** Every deciding process outputs this value. *)
+  | Decide_reg of int
+      (** Each process outputs its {e post-transition} register [i]. *)
+
+type 'state word_step = {
+  ws_state : 'state;
+      (** Next non-register template state, shared by every active
+          process. Ignored when [ws_halt] (the register planes still
+          determine per-process decisions via [ws_decide]). *)
+  ws_regs : reg_src array;  (** One source per register, length [bo_width]. *)
+  ws_decide : decide_src option;
+      (** If set, every active process decides this round. The engine's
+          decision discipline (no change, no revocation) still applies. *)
+  ws_halt : bool;  (** Halt every active process after this round. *)
+}
+(** A whole round's Phase-B transition for all active processes at once,
+    valid only when the transition is {e uniform}: the same branch of the
+    protocol applies to every active process and per-process variation is
+    confined to the register planes. *)
+
+type ('state, 'msg) bitops = {
+  bo_width : int;  (** Number of binary registers (bit planes). *)
+  bo_pack : 'state -> int;
+      (** Pack the state's registers into the low [bo_width] bits
+          (register [i] at bit [i]). *)
+  bo_unpack : 'state -> int -> 'state;
+      (** [bo_unpack template regs] rebuilds a full state from the
+          template's non-register fields and the packed registers. Must
+          be a left inverse of [bo_pack]:
+          [bo_pack (bo_unpack t (bo_pack s)) = bo_pack s]. *)
+  bo_uniform : 'state -> 'state -> bool;
+      (** Whether two states agree on every {e non-register} field — the
+          condition for sharing a packed template. Register fields are
+          ignored. *)
+  bo_coin_reg : int option;
+      (** If set, Phase A's {e first} draw on each process's stream is one
+          [Prng.Rng.bit] stored in this register; the kernel draws it
+          word-granularly via [Prng.Sample.coin_word]. [None] means
+          Phase A flips no coins. *)
+  bo_aux_draw : ('state -> Prng.Rng.t -> int) option;
+      (** The rest of Phase A's draws on each process's stream (after the
+          coin), collapsed to one private int payload for [bo_msg]. Must
+          consume exactly what the scalar [phase_a] would. [None] when
+          the coin (or nothing) is all Phase A draws. *)
+  bo_msg : 'state -> priv:int -> 'msg;
+      (** Reconstruct the exact message the scalar [phase_a] would have
+          returned, from the post-Phase-A state and the private payload.
+          Used when a kill round forces materialized delivery. *)
+  bo_step :
+    'state -> round:int -> nrecv:int -> tallies:int array -> 'state word_step option;
+      (** The word-level Phase B: given any active process's pre-round
+          state as a template (its register fields MUST NOT be read),
+          the number of received messages [nrecv] (uniform on batched
+          rounds) and per-register sender tallies [tallies.(i)] = number
+          of senders whose register [i] was set, return the uniform
+          transition — or [None] when this round's branch depends on
+          per-process data beyond the registers (the kernel then runs
+          the round through the scalar engine path and re-packs). *)
+}
+(** Bit-plane operations: the opt-in contract for {!Bitkernel}, mirroring
+    the {!aggregate}/{!cohort} pattern. All functions must be
+    observationally equal to the scalar [phase_a]/[phase_b] they
+    vectorize, so the bit-packed engine is byte-identical to {!Engine}
+    (pinned by the [bitkernel.differential] suite). *)
+
 type ('state, 'msg) t = {
   name : string;
   init : n:int -> pid:int -> input:int -> 'state;
@@ -112,6 +187,9 @@ type ('state, 'msg) t = {
   aggregate : ('state, 'msg) aggregate option;
       (** Declared aggregate consumer, or [None] to always receive the
           materialized array (the legacy exchange). *)
+  bitops : ('state, 'msg) bitops option;
+      (** Declared bit-plane operations, or [None] to keep the protocol
+          off the bit-packed {!Bitkernel} engine. *)
 }
 
 val decided : ('state, 'msg) t -> 'state -> bool
@@ -125,6 +203,11 @@ val legacy : ('state, 'msg) t -> ('state, 'msg) t
 val cohort_capable : ('state, 'msg) t -> bool
 (** Whether the protocol declares {!cohort} operations, i.e. can run on the
     population-compressed {!Cohort} engine. *)
+
+val bitkernel_capable : ('state, 'msg) t -> bool
+(** Whether the protocol declares both {!bitops} and an {!aggregate}, i.e.
+    can run on the bit-packed {!Bitkernel} engine (whose kill-round
+    fallback uses the aggregate delivery path). *)
 
 val phase_b_of_aggregate :
   ('state, 'msg) aggregate ->
@@ -146,3 +229,7 @@ val with_aggregate :
 (** Build a protocol whose [phase_b] is {!phase_b_of_aggregate} of the
     given aggregate — the only way the fast and legacy paths are
     guaranteed to agree. *)
+
+val with_bitops : ('state, 'msg) t -> ('state, 'msg) bitops -> ('state, 'msg) t
+(** Attach bit-plane operations. Raises [Invalid_argument] if the protocol
+    has no aggregate or [bo_coin_reg] is out of range. *)

@@ -108,7 +108,33 @@ type report = {
   retried : Parallel.chunk_failed list;
   failures : Parallel.chunk_failed list;
   cancelled : bool;
+  engine_used : string;
 }
+
+let engine_name = function
+  | `Concrete -> "concrete"
+  | `Cohort -> "cohort"
+  | `Bitkernel -> "bitkernel"
+
+(* [`Auto] crossover: below this population the concrete engine's plain
+   array sweep wins (packing overhead and cohort bookkeeping don't pay for
+   themselves); above it, prefer the bit-packed kernel, then cohort
+   compression, then concrete. The probe trial's inputs are a pure
+   function of (seed, 0), so peeking at [n] consumes nothing any real
+   trial will miss. *)
+let auto_crossover = 4096
+
+let resolve_engine engine ~seed ~gen_inputs protocol =
+  match engine with
+  | (`Concrete | `Cohort | `Bitkernel) as e -> e
+  | `Auto ->
+      let n =
+        Array.length (gen_inputs (Prng.Rng.of_seed_index ~seed ~index:0))
+      in
+      if n <= auto_crossover then `Concrete
+      else if Protocol.bitkernel_capable protocol then `Bitkernel
+      else if Protocol.cohort_capable protocol then `Cohort
+      else `Concrete
 
 let summary_of_acc acc =
   {
@@ -142,6 +168,7 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
       (fun plan -> Fault.injector ~nchunks:((trials + cs - 1) / cs) plan)
       fault
   in
+  let engine = resolve_engine engine ~seed ~gen_inputs protocol in
   let work index acc =
     let trial = index + 1 in
     (* The trial's randomness is a pure function of (seed, index): no
@@ -180,6 +207,9 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
             | None -> Cohort.Concrete (make_adversary ())
           in
           Cohort.run ~max_rounds ?sink protocol adversary ~inputs ~t ~rng
+      | `Bitkernel ->
+          Bitkernel.run ~max_rounds ?sink protocol (make_adversary ()) ~inputs
+            ~t ~rng
     in
     (match acc.acc_obs with
     | None -> ()
@@ -276,6 +306,7 @@ let run_trials_supervised ?(max_rounds = 10_000) ?strict ?jobs ?chunk_size
     retried = s.Parallel.retried;
     failures = s.Parallel.failures;
     cancelled = s.Parallel.cancelled;
+    engine_used = engine_name engine;
   }
 
 let run_trials ?max_rounds ?strict ?jobs ?chunk_size ?capture ?engine

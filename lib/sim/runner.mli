@@ -46,6 +46,11 @@ type report = {
   failures : Parallel.chunk_failed list;
       (** Terminal failures (budget exhausted), in chunk order. *)
   cancelled : bool;  (** The [cancel] watchdog fired. *)
+  engine_used : string;
+      (** The engine the trials actually ran on — ["concrete"],
+          ["cohort"] or ["bitkernel"] — after [`Auto] resolution. Recorded
+          in run manifests so an experiment's execution path is
+          auditable. *)
 }
 (** Outcome of a supervised run: the salvaged partial summary plus the
     structured failure record. [failures = [] && not cancelled] implies
@@ -59,7 +64,7 @@ val run_trials_supervised :
   ?cancel:(unit -> bool) ->
   ?checkpoint:Checkpoint.t ->
   ?capture:Obs.Capture.t ->
-  ?engine:[ `Concrete | `Cohort ] ->
+  ?engine:[ `Concrete | `Cohort | `Bitkernel | `Auto ] ->
   ?cohort_adversary:(unit -> ('state, 'msg) Cohort.adversary) ->
   ?retries:int ->
   ?fault:Fault.plan ->
@@ -114,7 +119,17 @@ val run_trials_supervised :
     [cohort_adversary] when given (typically a cohort-native planner);
     otherwise each trial's [make_adversary ()] result is wrapped as
     {!Cohort.Concrete}, exact but with per-process view reconstruction
-    costs. [cohort_adversary] is ignored under [`Concrete]. *)
+    costs. [cohort_adversary] is ignored under [`Concrete].
+
+    [`Bitkernel] runs each trial through the bit-packed {!Bitkernel}
+    engine (requires {!Protocol.bitkernel_capable}); the per-trial
+    [make_adversary ()] result is used directly, as under [`Concrete].
+    [`Auto] picks per run: [`Concrete] for populations at or below the
+    crossover (4096), above it the first capable engine in the order
+    bitkernel, cohort, concrete; the choice is reported in
+    [engine_used] and — via {!Supervise} — in the run manifest. All
+    engines produce byte-identical summaries, event streams and metrics,
+    so the selection is a pure performance decision. *)
 
 val run_trials :
   ?max_rounds:int ->
@@ -122,7 +137,7 @@ val run_trials :
   ?jobs:int ->
   ?chunk_size:int ->
   ?capture:Obs.Capture.t ->
-  ?engine:[ `Concrete | `Cohort ] ->
+  ?engine:[ `Concrete | `Cohort | `Bitkernel | `Auto ] ->
   ?cohort_adversary:(unit -> ('state, 'msg) Cohort.adversary) ->
   trials:int ->
   seed:int ->

@@ -1,0 +1,17 @@
+(* BAD (T1, bitkernel): a nondeterminism source inside the bit-packed
+   kernel's word primitives. [Bitkernel.step] is a sink root and the
+   whole [Bitwords] module is rooted, so the global-[Random] "tie-break"
+   in [popcount] must surface as T1 and classify the entire
+   step -> tallies -> popcount chain nondet. *)
+
+module Bitwords = struct
+  let popcount w = if Random.bool () then w land 1 else 0
+end
+
+module Bitkernel = struct
+  let tallies plane = Bitwords.popcount plane
+
+  let step plane = tallies plane + 1
+end
+
+let _ = Bitkernel.step 5

@@ -1,0 +1,19 @@
+(* GOOD: the same call shape as bad_bitkernel_words.ml with a pure SWAR
+   popcount — deterministic word ops inside the protected sink region
+   produce no findings and an all-det ledger. *)
+
+module Bitwords = struct
+  let popcount w =
+    let x = w - ((w lsr 1) land 0x55555555) in
+    let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+    let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+    (x * 0x01010101) lsr 24 land 0xFF
+end
+
+module Bitkernel = struct
+  let tallies plane = Bitwords.popcount plane
+
+  let step plane = tallies plane + 1
+end
+
+let _ = Bitkernel.step 5

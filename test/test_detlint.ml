@@ -349,6 +349,27 @@ let test_r9_fires_and_clean () =
   let _, good = analyze_typed_fixture "good_r9_local" in
   check_strings "chunk-local ref is clean" [] (taint_rules good)
 
+let test_bitkernel_roots () =
+  (* The bit-packed kernel's word ops sit inside the protected sink
+     region: an entropy source in [Bitwords] must taint the whole
+     [Bitkernel.step] chain, and the pure SWAR twin must stay clean. *)
+  let _, bad = analyze_typed_fixture "bad_bitkernel_words" in
+  check_strings "T1 on entropy in a word op" [ "T1" ] (taint_rules bad);
+  (match bad.Detlint_taint.findings with
+  | [ f ] ->
+      Alcotest.(check bool)
+        "finding names the word primitive" true
+        (contains ~needle:"Bitwords.popcount" f.Detlint.message)
+  | fs -> Alcotest.failf "expected exactly one T1, got %d" (List.length fs));
+  List.iter
+    (fun fn -> Alcotest.(check string) fn "nondet" (entry_class bad fn))
+    [ "Bitwords.popcount"; "Bitkernel.tallies"; "Bitkernel.step" ];
+  let _, good = analyze_typed_fixture "good_bitkernel_words" in
+  check_strings "deterministic word ops are clean" [] (taint_rules good);
+  List.iter
+    (fun fn -> Alcotest.(check string) fn "det" (entry_class good fn))
+    [ "Bitwords.popcount"; "Bitkernel.step" ]
+
 let test_stale_waiver_detected () =
   let g, r = analyze_typed_fixture "stale_waiver" in
   check_strings "no rule findings" [] (taint_rules r);
@@ -467,6 +488,7 @@ let suites =
           test_taint_waiver_quarantines;
         tc "R7 descending member order" test_r7_fires_and_clean;
         tc "R8 float fold vs absorb algebra" test_r8_fires_and_clean;
+        tc "bitkernel word ops are sink-rooted" test_bitkernel_roots;
         tc "R9 escaping ref vs chunk-local state" test_r9_fires_and_clean;
         tc "stale waivers are detected" test_stale_waiver_detected;
         tc "purity ledger is byte-stable" test_ledger_byte_stable;

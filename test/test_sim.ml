@@ -36,6 +36,7 @@ let probe ?(decide_at = max_int) () =
     decision = (fun s -> s.decision);
     halted = (fun s -> s.halted);
     aggregate = None;
+    bitops = None;
   }
 
 let run_probe ?record_trace ?max_rounds ?(decide_at = max_int) ~inputs ~t
@@ -248,6 +249,7 @@ let flip_flop =
     decision = (fun s -> Some (s mod 2));
     halted = (fun _ -> false);
     aggregate = None;
+    bitops = None;
   }
 
 let test_decision_change_detected () =
@@ -268,6 +270,7 @@ let halt_without_decide =
     decision = (fun _ -> None);
     halted = (fun _ -> true);
     aggregate = None;
+    bitops = None;
   }
 
 let test_halt_without_decision_detected () =
@@ -311,6 +314,7 @@ let coin_protocol =
     decision = (fun s -> s);
     halted = (fun s -> Option.is_some s);
     aggregate = None;
+    bitops = None;
   }
 
 let decisions_key o =
@@ -756,6 +760,7 @@ let disagree_protocol =
     decision = (fun s -> if s.ddecided then Some (s.dpid land 1) else None);
     halted = (fun s -> s.dhalted);
     aggregate = None;
+    bitops = None;
   }
 
 let error_order_suite =

@@ -515,6 +515,77 @@ let test_runner_chunk_size_identity () =
   check_bool "chunk_size 1 = chunk_size 5" true
     (summary_key (run 1) = summary_key (run 5))
 
+let test_runner_auto_engine () =
+  (* [`Auto] is a pure performance decision: whatever it resolves to must
+     produce a summary byte-identical to naming that engine explicitly,
+     and the resolution must be auditable through [engine_used] and the
+     manifest's [engines] list. Small populations stay on the concrete
+     engine; above the crossover a bitkernel-capable protocol takes the
+     bit-packed kernel. *)
+  let run ~engine ~n ~trials protocol =
+    Sim.Runner.run_trials_supervised ~max_rounds:500 ~jobs:1 ~chunk_size:2
+      ~trials ~seed:11 ~engine
+      ~gen_inputs:(Sim.Runner.input_gen_random ~n)
+      ~t:2 protocol
+      (fun () -> Sim.Adversary.null)
+  in
+  let key (r : Sim.Runner.report) =
+    match r.Sim.Runner.partial with
+    | Some s -> summary_key s
+    | None -> Alcotest.fail "summary missing"
+  in
+  (* n = 8 <= crossover: auto must stay concrete. *)
+  let small = Core.Synran.protocol 8 in
+  let auto_small = run ~engine:`Auto ~n:8 ~trials:6 small in
+  let conc_small = run ~engine:`Concrete ~n:8 ~trials:6 small in
+  check_string "small n resolves concrete" "concrete"
+    auto_small.Sim.Runner.engine_used;
+  check_bool "auto = explicit concrete" true
+    (key auto_small = key conc_small);
+  (* n = 4100 > crossover, FloodSet publishes bitops: auto goes packed.
+     rounds = 3 keeps the trial cheap at this width. *)
+  let large = Baselines.Floodset.protocol ~rounds:3 () in
+  let auto_large = run ~engine:`Auto ~n:4100 ~trials:2 large in
+  let bitk_large = run ~engine:`Bitkernel ~n:4100 ~trials:2 large in
+  let conc_large = run ~engine:`Concrete ~n:4100 ~trials:2 large in
+  check_string "large bitops n resolves bitkernel" "bitkernel"
+    auto_large.Sim.Runner.engine_used;
+  check_string "explicit engine is reported as-is" "concrete"
+    conc_large.Sim.Runner.engine_used;
+  check_bool "auto = explicit bitkernel" true (key auto_large = key bitk_large);
+  check_bool "bitkernel = concrete" true (key bitk_large = key conc_large);
+  (* The manifest audit trail: committing reports from two engines leaves
+     both in the experiment record, in first-use order, and the engines
+     list never perturbs the metrics digest (it is manifest-only). *)
+  let ctx = Core.Supervise.create () in
+  let res =
+    Core.Supervise.run_experiment ctx ~id:"auto" (fun () ->
+        ignore (Core.Supervise.commit (Some ctx) auto_small);
+        ignore (Core.Supervise.commit (Some ctx) auto_large);
+        ignore (Core.Supervise.commit (Some ctx) auto_large);
+        Stats.Table.create ~title:"auto" ~columns:[ "engine" ])
+  in
+  Alcotest.(check (list string))
+    "engines in first-use order, deduplicated" [ "concrete"; "bitkernel" ]
+    res.Core.Supervise.engines;
+  with_temp_root "manifest_engines_tmp" @@ fun root ->
+  let path = Filename.concat root "run_manifest.json" in
+  Core.Supervise.write_manifest ~path ~profile:"quick" ~seed:11 ~jobs:1
+    ~resume:false ~deadline_s:None [ res ];
+  let ic = open_in path in
+  let json = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let mem needle =
+    let lw = String.length needle in
+    let rec go i =
+      i + lw <= String.length json
+      && (String.sub json i lw = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "manifest records both engines" true
+    (mem "\"engines\": [\"concrete\", \"bitkernel\"]")
+
 (* --- Core.Supervise ----------------------------------------------------- *)
 
 let test_supervise_failure_record () =
@@ -757,6 +828,8 @@ let suites =
         tc "chunk_size is validated" test_runner_chunk_size_validated;
         tc "chunk_size does not change the summary"
           test_runner_chunk_size_identity;
+        tc "auto engine resolution is identical and audited"
+          test_runner_auto_engine;
       ] );
     ( "supervised.ctx",
       [

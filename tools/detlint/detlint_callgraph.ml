@@ -351,21 +351,24 @@ let walk_structure graph ~unit_name ~file (str : Typedtree.structure) =
     let n = fact_node ~line in
     let loc = loc_of l ~file in
     let name = normalize_path (Path.name p) in
-    (match p with
-    | Path.Pident _ ->
-        (* Local: resolve later against the enclosing scopes. *)
-        let scope_names =
-          (* ["Sim.Cohort"; "step"] -> ["Sim.Cohort"; "Sim.Cohort.step"] *)
-          List.fold_left
-            (fun acc s ->
-              match acc with
-              | [] -> [ s ]
-              | prev :: _ -> (prev ^ "." ^ s) :: acc)
-            []
-            (List.rev !scopes)
-        in
-        n.calls <- { callee = name; local_scopes = Some scope_names } :: n.calls
-    | _ -> n.calls <- { callee = name; local_scopes = None } :: n.calls);
+    (* Resolve later against the enclosing scopes: bare [Pident]s only make
+       sense relative to a scope, and dotted paths may name a sibling
+       submodule of the same unit ("Bitwords.popcount" from inside
+       "Sim.Bitkernel" when both live in one file), which the node table
+       stores under its unit-qualified name. [resolve_call] tries the
+       direct (cross-unit) name first, so fully-qualified callees are
+       unaffected. *)
+    let scope_names =
+      (* ["Sim.Cohort"; "step"] -> ["Sim.Cohort"; "Sim.Cohort.step"] *)
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | [] -> [ s ]
+          | prev :: _ -> (prev ^ "." ^ s) :: acc)
+        []
+        (List.rev !scopes)
+    in
+    n.calls <- { callee = name; local_scopes = Some scope_names } :: n.calls;
     (* Source detection mirrors the syntactic rules, on resolved paths. *)
     let add kind =
       let w = active_waiver [ source_rule kind; "T1" ] in
@@ -715,18 +718,24 @@ let load_paths paths =
 (* ------------------------------------------------------------------ *)
 
 (* Resolve a recorded call to a known node name, if any: globals match
-   directly; locals try the enclosing scopes innermost-first. *)
+   directly (fully-qualified cross-unit paths), then the enclosing scopes
+   are tried innermost-first — this covers both bare locals and dotted
+   paths into sibling submodules of the same unit, whose nodes carry the
+   unit prefix the path lacks. *)
 let resolve_call graph c =
-  match c.local_scopes with
-  | None -> if Hashtbl.mem graph.nodes c.callee then Some c.callee else None
-  | Some scopes ->
-      let rec try_scopes = function
-        | [] -> None
-        | s :: rest ->
-            let cand = s ^ "." ^ c.callee in
-            if Hashtbl.mem graph.nodes cand then Some cand else try_scopes rest
-      in
-      try_scopes scopes
+  if Hashtbl.mem graph.nodes c.callee then Some c.callee
+  else
+    match c.local_scopes with
+    | None -> None
+    | Some scopes ->
+        let rec try_scopes = function
+          | [] -> None
+          | s :: rest ->
+              let cand = s ^ "." ^ c.callee in
+              if Hashtbl.mem graph.nodes cand then Some cand
+              else try_scopes rest
+        in
+        try_scopes scopes
 
 (* Adjacency as sorted, deduplicated successor lists: deterministic BFS
    orders make chains (and therefore the ledger) byte-stable. *)

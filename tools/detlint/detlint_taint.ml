@@ -73,6 +73,14 @@ let sink_roots =
     Fn "Cohort.step";
     Fn "Cohort.run";
     Fn "Cohort.run_until";
+    Fn "Bitkernel.step";
+    Fn "Bitkernel.run";
+    Fn "Bitkernel.run_until";
+    Fn "Bitkernel.run_batch";
+    (* The word primitives feed every packed round's tallies and
+       iteration order; a nondet source there corrupts experiment
+       tables as surely as one in Engine.step. *)
+    Mod "Bitwords";
     Fn "Welford.merge";
     Fn "Histogram.merge";
     Fn "Metrics.merge";
@@ -93,12 +101,19 @@ let protocol_base_pats = [ "phase_a"; "phase_b"; "absorb"; "finish" ]
 
 let cohort_base_names = [ "c_phase_a"; "c_absorb"; "c_msg" ]
 
+(* Bitops implementations are likewise reached through the
+   [Protocol.bitops] record (the bit-packed kernel calls [bo.bo_step]),
+   so they root by the documented field names. *)
+let bitops_base_names =
+  [ "bo_pack"; "bo_unpack"; "bo_uniform"; "bo_aux_draw"; "bo_msg"; "bo_step" ]
+
 let ends_with ~suffix s =
   let ls = String.length suffix and l = String.length s in
   l >= ls && String.sub s (l - ls) ls = suffix
 
 let is_protocol_base base =
   List.mem base cohort_base_names
+  || List.mem base bitops_base_names
   || List.exists
        (fun p -> base = p || ends_with ~suffix:("_" ^ p) base)
        protocol_base_pats
